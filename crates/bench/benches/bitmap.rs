@@ -1,0 +1,64 @@
+//! Criterion benchmarks of STAR's bitmap machinery (the only extra
+//! run-time work STAR adds over WB).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_core::star::bitmap::{BitmapLayout, MultiLayerBitmap};
+use star_nvm::{NvmConfig, NvmDevice};
+use std::hint::black_box;
+
+fn bench_set_clear_hot(c: &mut Criterion) {
+    // All bits in one bitmap line: pure ADR hits.
+    let layout = BitmapLayout::new(1 << 20, 1 << 30);
+    let mut bitmap = MultiLayerBitmap::new(layout, 16);
+    let mut nvm = NvmDevice::new(NvmConfig::default());
+    c.bench_function("bitmap/set_clear_adr_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let idx = i % 512;
+            i += 1;
+            bitmap.set(black_box(idx), &mut nvm, 0);
+            bitmap.clear(black_box(idx), &mut nvm, 0)
+        })
+    });
+}
+
+fn bench_set_striding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap/set_striding");
+    for adr_lines in [2usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(adr_lines), &adr_lines, |b, &adr| {
+            let layout = BitmapLayout::new(1 << 20, 1 << 30);
+            let mut bitmap = MultiLayerBitmap::new(layout, adr);
+            let mut nvm = NvmDevice::new(NvmConfig::default());
+            let mut i = 0u64;
+            b.iter(|| {
+                // Stride across many bitmap lines to exercise LRU spills.
+                let idx = (i * 7919) % (1 << 20);
+                i += 1;
+                bitmap.set(black_box(idx), &mut nvm, 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_collect_stale(c: &mut Criterion) {
+    let layout = BitmapLayout::new(1 << 20, 1 << 30);
+    let mut bitmap = MultiLayerBitmap::new(layout, 32);
+    let mut nvm = NvmDevice::new(NvmConfig::default());
+    for i in 0..4_000u64 {
+        bitmap.set((i * 263) % (1 << 20), &mut nvm, 0);
+    }
+    let mut store = nvm.store().clone();
+    bitmap.crash_flush(&mut store);
+    let top = bitmap.top_line();
+    let layout = bitmap.layout().clone();
+    c.bench_function("bitmap/collect_stale_4k", |b| {
+        b.iter(|| {
+            let mut reads = 0;
+            black_box(layout.collect_stale(&top, &store, &mut reads))
+        })
+    });
+}
+
+criterion_group!(benches, bench_set_clear_hot, bench_set_striding, bench_collect_stale);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for the crypto substrate: these set the
+//! per-access costs the secure-memory model abstracts away.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use star_crypto::mac::{MacInput, MacKey};
+use star_crypto::{one_time_pad, Aes128, Sha256};
+use std::hint::black_box;
+
+fn bench_aes_block(c: &mut Criterion) {
+    let aes = Aes128::from_seed(1);
+    let pt = [7u8; 16];
+    c.bench_function("aes128/encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&pt)))
+    });
+}
+
+fn bench_otp(c: &mut Criterion) {
+    let aes = Aes128::from_seed(1);
+    c.bench_function("ctr/one_time_pad_64B", |b| {
+        b.iter(|| one_time_pad(black_box(&aes), black_box(0xdead), black_box(42)))
+    });
+}
+
+fn bench_node_mac(c: &mut Criterion) {
+    let key = MacKey::from_seed(2);
+    let counters = [9u64; 8];
+    c.bench_function("mac/node_mac54", |b| {
+        b.iter(|| {
+            MacInput::new()
+                .u64(black_box(0x1000))
+                .u64s(black_box(&counters))
+                .u64(black_box(17))
+                .mac54(&key)
+        })
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = [0xabu8; 64];
+    c.bench_function("sha256/64B", |b| b.iter(|| Sha256::digest(black_box(&data))));
+}
+
+criterion_group!(benches, bench_aes_block, bench_otp, bench_node_mac, bench_sha256);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the secure-memory engine: per-scheme cost of
+//! driving the same workload trace (the simulation-throughput view of
+//! Fig. 11's traffic differences).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_core::{SchemeKind, SecureMemConfig, SecureMemory};
+use star_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/array_1k_ops");
+    group.sample_size(10);
+    for scheme in SchemeKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &scheme| {
+            b.iter(|| {
+                let mut mem = SecureMemory::new(scheme, SecureMemConfig::default());
+                let mut wl = WorkloadKind::Array.instantiate(7);
+                wl.run(1_000, &mut mem);
+                black_box(mem.report().total_writes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/star_1k_ops");
+    group.sample_size(10);
+    for kind in WorkloadKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut mem = SecureMemory::new(SchemeKind::Star, SecureMemConfig::default());
+                let mut wl = kind.instantiate(7);
+                wl.run(1_000, &mut mem);
+                black_box(mem.report().total_writes())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_workloads);
+criterion_main!(benches);

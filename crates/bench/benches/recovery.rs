@@ -1,0 +1,42 @@
+//! Criterion benchmarks of crash + recovery (the host-side cost; the
+//! modeled NVM recovery time is what Fig. 14b reports).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_core::{recover, SchemeKind, SecureMemConfig, SecureMemory};
+use star_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn dirty_engine(scheme: SchemeKind) -> SecureMemory {
+    let mut mem = SecureMemory::new(scheme, SecureMemConfig::default());
+    let mut wl = WorkloadKind::Array.instantiate(3);
+    wl.run(5_000, &mut mem);
+    mem
+}
+
+fn bench_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery/after_5k_ops");
+    group.sample_size(10);
+    for scheme in [SchemeKind::Star, SchemeKind::Anubis] {
+        let image = dirty_engine(scheme).crash();
+        group.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, _| {
+            b.iter(|| {
+                let mut image = image.clone();
+                black_box(recover(&mut image).expect("clean recovery"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_crash_snapshot(c: &mut Criterion) {
+    c.bench_function("recovery/crash_snapshot", |b| {
+        b.iter_batched(
+            || dirty_engine(SchemeKind::Star),
+            |mem| black_box(mem.crash()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_recover, bench_crash_snapshot);
+criterion_main!(benches);

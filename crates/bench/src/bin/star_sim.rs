@@ -1,0 +1,218 @@
+//! `star-sim` — run one secure-NVM simulation from the command line.
+//!
+//! ```text
+//! star-sim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N]
+//!          [--threads T] [--cache-kb K] [--adr-lines L] [--lsb-bits B]
+//!          [--seed S] [--crash] [--attack tamper|replay|bitmap]
+//! ```
+//!
+//! Prints the run report; with `--crash`, also crashes and recovers
+//! (optionally under an attack, which must be detected).
+
+use star_core::recovery::{recover, Attack};
+use star_core::{SchemeKind, SecureMemConfig, SecureMemory};
+use star_workloads::{MultiThreaded, Workload, WorkloadKind};
+
+#[derive(Debug)]
+struct Options {
+    scheme: SchemeKind,
+    workload: WorkloadKind,
+    ops: usize,
+    threads: usize,
+    cache_kb: usize,
+    adr_lines: usize,
+    lsb_bits: u32,
+    seed: u64,
+    crash: bool,
+    attack: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scheme: SchemeKind::Star,
+            workload: WorkloadKind::Array,
+            ops: 10_000,
+            threads: 1,
+            cache_kb: 512,
+            adr_lines: 16,
+            lsb_bits: 10,
+            seed: 42,
+            crash: false,
+            attack: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: star-sim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N] \
+         [--threads T] [--cache-kb K] [--adr-lines L] [--lsb-bits B] [--seed S] \
+         [--crash] [--attack tamper|replay|bitmap]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scheme" => {
+                opts.scheme = match value(&args, &mut i).as_str() {
+                    "wb" => SchemeKind::WriteBack,
+                    "strict" => SchemeKind::Strict,
+                    "anubis" => SchemeKind::Anubis,
+                    "star" => SchemeKind::Star,
+                    _ => usage(),
+                }
+            }
+            "--workload" => {
+                opts.workload =
+                    WorkloadKind::from_label(&value(&args, &mut i)).unwrap_or_else(|| usage())
+            }
+            "--ops" => opts.ops = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => opts.threads = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--cache-kb" => {
+                opts.cache_kb = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--adr-lines" => {
+                opts.adr_lines = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--lsb-bits" => {
+                opts.lsb_bits = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => opts.seed = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--crash" => opts.crash = true,
+            "--attack" => {
+                opts.attack = Some(value(&args, &mut i));
+                opts.crash = true;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let cfg = SecureMemConfig {
+        metadata_cache_bytes: opts.cache_kb << 10,
+        adr_bitmap_lines: opts.adr_lines,
+        counter_lsb_bits: opts.lsb_bits,
+        ..SecureMemConfig::default()
+    };
+    if let Err(msg) = cfg.validate() {
+        eprintln!("invalid configuration: {msg}");
+        std::process::exit(2);
+    }
+
+    let mut mem = SecureMemory::new(opts.scheme, cfg);
+    let mut wl: Box<dyn Workload> = if opts.threads > 1 {
+        Box::new(MultiThreaded::new(opts.workload, opts.threads, opts.seed))
+    } else {
+        opts.workload.instantiate(opts.seed)
+    };
+
+    eprintln!(
+        "running {} × {} ops under {} ({} threads)...",
+        opts.workload, opts.ops, opts.scheme, opts.threads
+    );
+    wl.run(opts.ops, &mut mem);
+
+    let report = mem.report();
+    println!("scheme:            {}", report.scheme);
+    println!("instructions:      {}", report.instructions);
+    println!("cycles:            {:.0}", report.cycles);
+    println!("IPC:               {:.3}", report.ipc);
+    println!("NVM reads:         {}", report.nvm.total_reads());
+    println!("NVM writes:        {}", report.nvm.total_writes());
+    println!("  data:            {}", report.nvm.writes(star_nvm::AccessClass::Data));
+    println!("  metadata:        {}", report.nvm.writes(star_nvm::AccessClass::Metadata));
+    println!("  bitmap lines:    {}", report.nvm.writes(star_nvm::AccessClass::BitmapLine));
+    println!("  shadow table:    {}", report.nvm.writes(star_nvm::AccessClass::ShadowTable));
+    println!("energy:            {:.2} uJ", report.energy_pj as f64 / 1e6);
+    println!(
+        "metadata cache:    {}/{} dirty ({:.1}%)",
+        report.dirty_metadata,
+        report.cached_metadata,
+        report.dirty_fraction() * 100.0
+    );
+    if let Some(bitmap) = report.bitmap {
+        println!(
+            "bitmap lines:      {} accesses, {:.1}% ADR hit, {} RA writes",
+            bitmap.accesses,
+            bitmap.hit_ratio() * 100.0,
+            bitmap.ra_writes
+        );
+    }
+    println!("forced flushes:    {}", report.forced_flushes);
+
+    if !opts.crash {
+        return;
+    }
+
+    let mut image = mem.crash();
+    println!("\ncrash: {} stale metadata nodes", image.stale_node_count());
+    if let Some(kind) = &opts.attack {
+        let stale = image.stale_nodes();
+        let Some(&flat) = stale.first() else {
+            eprintln!("no stale nodes to attack");
+            std::process::exit(1);
+        };
+        let geometry = image.geometry().clone();
+        let node = geometry.node_at_flat(flat).expect("metadata");
+        let attack = match kind.as_str() {
+            "tamper" => Attack::TamperLine { addr: geometry.line_of(node), xor_byte: 0x40 },
+            "bitmap" => Attack::TamperBitmap { meta_idx: flat },
+            "replay" => {
+                // Roll back a child's synergized LSBs.
+                let child = (0..8)
+                    .find_map(|s| match geometry.child(node, s) {
+                        Some(star_metadata::NodeChild::DataLine(d)) => {
+                            Some(star_nvm::LineAddr::new(d))
+                        }
+                        Some(star_metadata::NodeChild::Node(c)) => Some(geometry.line_of(c)),
+                        None => None,
+                    })
+                    .expect("node has children");
+                Attack::ReplayChildTuple { child_addr: child, lsb_delta: 1 }
+            }
+            _ => usage(),
+        };
+        println!("applying attack: {kind}");
+        image.apply_attack(&attack);
+    }
+
+    match recover(&mut image) {
+        Ok(report) => {
+            println!(
+                "recovery: {} nodes restored, {} reads + {} writes, {:.3} ms (modeled), \
+                 verified={}, exact={}",
+                report.stale_count,
+                report.nvm_reads,
+                report.nvm_writes,
+                report.recovery_time_ns as f64 / 1e6,
+                report.verified,
+                report.correct
+            );
+            if opts.attack.is_some() {
+                eprintln!("ERROR: attack was not detected!");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            println!("recovery failed: {e}");
+            if opts.attack.is_none() && opts.scheme != SchemeKind::WriteBack {
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Workload × scheme execution harness.
+
+use star_core::{RecoveryError, RecoveryReport, RunReport, SchemeKind, SecureMemConfig, SecureMemory};
+use star_workloads::{MultiThreaded, Workload, WorkloadKind};
+
+/// How one experiment run is configured.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Operations per workload (split across threads).
+    pub ops: usize,
+    /// Workload RNG seed (fixed so every scheme sees the same trace).
+    pub seed: u64,
+    /// Simulated threads (the paper runs 8; 1 keeps sweeps fast and the
+    /// normalized results are thread-count-insensitive).
+    pub threads: usize,
+    /// Engine configuration (paper Table I defaults).
+    pub mem: SecureMemConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self { ops: 20_000, seed: 42, threads: 1, mem: SecureMemConfig::default() }
+    }
+}
+
+impl ExperimentConfig {
+    /// Scales the operation count (the figures binary's `--ops`).
+    pub fn with_ops(mut self, ops: usize) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Sets the simulated thread count (the figures binary's
+    /// `--threads`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Instantiates `kind` honoring the thread count.
+    pub fn instantiate(&self, kind: WorkloadKind) -> Box<dyn Workload> {
+        if self.threads > 1 {
+            Box::new(MultiThreaded::new(kind, self.threads, self.seed))
+        } else {
+            kind.instantiate(self.seed)
+        }
+    }
+}
+
+/// A run that ended in a crash + recovery attempt.
+#[derive(Debug)]
+pub struct CrashOutcome {
+    /// Statistics of the pre-crash run.
+    pub report: RunReport,
+    /// Dirty metadata fraction at crash (Fig. 14a).
+    pub dirty_fraction: f64,
+    /// Dirty metadata lines at crash.
+    pub dirty_lines: usize,
+    /// The recovery result.
+    pub recovery: Result<RecoveryReport, RecoveryError>,
+}
+
+/// Runs `kind` under `scheme` and returns the run report.
+pub fn run_scheme(scheme: SchemeKind, kind: WorkloadKind, cfg: &ExperimentConfig) -> RunReport {
+    let mut mem = SecureMemory::new(scheme, cfg.mem.clone());
+    let mut wl = cfg.instantiate(kind);
+    wl.run(cfg.ops, &mut mem);
+    mem.report()
+}
+
+/// Runs `kind` under `scheme`, crashes at the end, and recovers.
+pub fn run_and_crash(
+    scheme: SchemeKind,
+    kind: WorkloadKind,
+    cfg: &ExperimentConfig,
+) -> CrashOutcome {
+    let mut mem = SecureMemory::new(scheme, cfg.mem.clone());
+    let mut wl = cfg.instantiate(kind);
+    wl.run(cfg.ops, &mut mem);
+    let report = mem.report();
+    let dirty_fraction = mem.dirty_metadata_fraction();
+    let dirty_lines = mem.dirty_metadata_count();
+    let mut image = mem.crash();
+    let recovery = star_core::recover(&mut image);
+    CrashOutcome { report, dirty_fraction, dirty_lines, recovery }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_trace_across_schemes() {
+        let cfg = ExperimentConfig { ops: 300, ..Default::default() };
+        let wb = run_scheme(SchemeKind::WriteBack, WorkloadKind::Queue, &cfg);
+        let star = run_scheme(SchemeKind::Star, WorkloadKind::Queue, &cfg);
+        assert_eq!(wb.instructions, star.instructions, "identical instruction stream");
+    }
+
+    #[test]
+    fn crash_outcome_recovers_for_star() {
+        let cfg = ExperimentConfig { ops: 500, ..Default::default() };
+        let out = run_and_crash(SchemeKind::Star, WorkloadKind::Array, &cfg);
+        let rec = out.recovery.expect("attack-free recovery succeeds");
+        assert!(rec.correct);
+    }
+}

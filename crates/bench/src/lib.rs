@@ -1,0 +1,16 @@
+//! The evaluation harness: runs workloads under every scheme and
+//! reproduces the paper's tables and figures.
+//!
+//! The `figures` binary drives [`experiments`]; each experiment returns a
+//! structured result the binary renders as the paper's rows and records
+//! into `EXPERIMENTS.md` alongside the published values
+//! ([`paper`] holds those constants).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod paper;
+
+pub use harness::{run_scheme, CrashOutcome, ExperimentConfig};

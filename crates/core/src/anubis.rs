@@ -1,0 +1,180 @@
+//! The Anubis baseline's shadow table (paper §II-E, §IV).
+//!
+//! Anubis (for SGX integrity trees) writes one *shadow-table* (ST) block
+//! into NVM alongside **every** memory write. The ST mirrors the metadata
+//! cache: one 64-byte slot per cache line, holding the address and the
+//! counters of the dirty node the write just modified. After a crash,
+//! Anubis scans the whole ST region and restores every recorded node —
+//! fast (the ST is as small as the cache) but at the cost of doubling the
+//! write traffic, which is exactly what STAR eliminates.
+//!
+//! An ST entry packs exactly into one line: an 8-byte flat metadata index
+//! (with a validity tag in the top bit) plus eight 7-byte counters.
+
+use star_metadata::{Node64, COUNTER_MASK};
+use star_nvm::Line;
+use std::collections::HashMap;
+
+/// Tag bit marking a slot as holding a valid entry (flat indices are far
+/// below 2^63).
+const VALID_TAG: u64 = 1 << 63;
+
+/// One shadow-table entry: the latest counter snapshot of a dirty node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StEntry {
+    /// Flat metadata index of the dirty node.
+    pub flat_idx: u64,
+    /// The node's eight counters at the time of the write.
+    pub counters: [u64; 8],
+}
+
+impl StEntry {
+    /// Builds the entry for `node` at `flat_idx`.
+    pub fn new(flat_idx: u64, node: &Node64) -> Self {
+        Self { flat_idx, counters: *node.counters() }
+    }
+
+    /// Serializes into one 64-byte line.
+    pub fn to_line(&self) -> Line {
+        let mut bytes = [0u8; 64];
+        bytes[..8].copy_from_slice(&(self.flat_idx | VALID_TAG).to_le_bytes());
+        for (i, &c) in self.counters.iter().enumerate() {
+            bytes[8 + 7 * i..8 + 7 * i + 7].copy_from_slice(&c.to_le_bytes()[..7]);
+        }
+        Line::from(bytes)
+    }
+
+    /// Parses a line; `None` if the slot is empty/invalid.
+    pub fn from_line(line: &Line) -> Option<Self> {
+        let bytes = line.as_bytes();
+        let tagged = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        if tagged & VALID_TAG == 0 {
+            return None;
+        }
+        let mut counters = [0u64; 8];
+        for (i, c) in counters.iter_mut().enumerate() {
+            let mut buf = [0u8; 8];
+            buf[..7].copy_from_slice(&bytes[8 + 7 * i..8 + 7 * i + 7]);
+            *c = u64::from_le_bytes(buf) & COUNTER_MASK;
+        }
+        Some(Self { flat_idx: tagged & !VALID_TAG, counters })
+    }
+}
+
+/// Runtime slot allocator: maps each dirty cached node to a stable ST
+/// slot for as long as it stays dirty (mirroring Anubis's cache-way
+/// association). This table is volatile MC state — recovery never needs
+/// it, because it rescans the whole ST region.
+#[derive(Debug, Clone, Default)]
+pub struct StSlotMap {
+    capacity: usize,
+    by_node: HashMap<u64, usize>,
+    free: Vec<usize>,
+}
+
+impl StSlotMap {
+    /// Creates a slot map with `capacity` slots (= metadata cache lines).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, by_node: HashMap::new(), free: (0..capacity).rev().collect() }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The slot for `flat_idx`, allocating one on first use.
+    ///
+    /// Nominally one slot per cache line suffices (only cached nodes are
+    /// dirty); the engine's deferred write-back queue can transiently
+    /// hold evicted-but-unwritten dirty nodes beyond that, so the map
+    /// grows past `capacity` when needed and [`Self::high_water`] reports
+    /// the region size recovery must scan.
+    pub fn slot_for(&mut self, flat_idx: u64) -> usize {
+        if let Some(&s) = self.by_node.get(&flat_idx) {
+            return s;
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            let s = self.capacity;
+            self.capacity += 1;
+            s
+        });
+        self.by_node.insert(flat_idx, slot);
+        slot
+    }
+
+    /// The largest slot count ever allocated (≥ the construction
+    /// capacity).
+    pub fn high_water(&self) -> usize {
+        self.capacity
+    }
+
+    /// Releases the slot of `flat_idx` when the node becomes clean.
+    pub fn release(&mut self, flat_idx: u64) {
+        if let Some(slot) = self.by_node.remove(&flat_idx) {
+            self.free.push(slot);
+        }
+    }
+
+    /// Number of live (dirty) entries.
+    pub fn live(&self) -> usize {
+        self.by_node.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_roundtrip() {
+        let mut node = Node64::zeroed();
+        for i in 0..8 {
+            node.set_counter(i, (i as u64 + 1) * 1_000_003);
+        }
+        let e = StEntry::new(42, &node);
+        let back = StEntry::from_line(&e.to_line()).expect("valid");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn empty_line_is_invalid() {
+        assert_eq!(StEntry::from_line(&Line::ZERO), None);
+    }
+
+    #[test]
+    fn max_counters_roundtrip() {
+        let mut node = Node64::zeroed();
+        for i in 0..8 {
+            node.set_counter(i, COUNTER_MASK);
+        }
+        let e = StEntry::new(0, &node);
+        assert_eq!(StEntry::from_line(&e.to_line()).unwrap().counters, [COUNTER_MASK; 8]);
+    }
+
+    #[test]
+    fn slot_map_is_stable_until_release() {
+        let mut m = StSlotMap::new(4);
+        let a = m.slot_for(100);
+        let b = m.slot_for(200);
+        assert_ne!(a, b);
+        assert_eq!(m.slot_for(100), a, "same node keeps its slot");
+        assert_eq!(m.live(), 2);
+        m.release(100);
+        assert_eq!(m.live(), 1);
+        let c = m.slot_for(300);
+        assert!(c == a || c < 4);
+    }
+
+    #[test]
+    fn transient_overflow_grows_the_region() {
+        let mut m = StSlotMap::new(1);
+        let a = m.slot_for(1);
+        let b = m.slot_for(2);
+        assert_ne!(a, b, "distinct nodes never share a live slot");
+        assert_eq!(m.high_water(), 2);
+        m.release(1);
+        m.release(2);
+        assert_eq!(m.live(), 0);
+    }
+}

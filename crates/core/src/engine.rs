@@ -1,0 +1,1001 @@
+//! The secure memory controller engine.
+//!
+//! [`SecureMemory`] glues together the CPU cache hierarchy, the metadata
+//! cache, the SGX integrity tree (lazy update), counter-mode encryption
+//! and the NVM device, and implements all four persistence schemes.
+//!
+//! # The lazy SIT write path (paper §II-C, §III-B)
+//!
+//! When a block (user data or metadata) is written to NVM:
+//!
+//! 1. its parent node is brought into the metadata cache (verified on
+//!    fill against *its* parent's counter),
+//! 2. the corresponding counter in the parent increments by one — the
+//!    parent becomes dirty in the cache,
+//! 3. the block's MAC is recomputed over its content, address and the
+//!    *new* parent counter; under STAR the 10 LSBs of that counter are
+//!    stored in the block's spare MAC bits (counter-MAC synergization),
+//! 4. the block is written to NVM — one write, carrying everything needed
+//!    to restore the parent after a crash.
+//!
+//! Scheme differences are confined to hooks: STAR additionally maintains
+//! the bitmap lines on dirty-state changes; Anubis writes a shadow-table
+//! line per memory write; Strict persists the whole branch eagerly and
+//! never leaves dirty metadata behind.
+
+use crate::anubis::{StEntry, StSlotMap};
+use crate::config::{SchemeKind, SecureMemConfig};
+use crate::recovery::CrashImage;
+use crate::star::bitmap::{BitmapLayout, BitmapStats, MultiLayerBitmap};
+use crate::star::cache_tree;
+use crate::stats::RunReport;
+use star_crypto::aes::Aes128;
+use star_crypto::ctr::one_time_pad;
+use star_crypto::mac::MacKey;
+use star_mem::{CacheHierarchy, MemEvent, MemSideOp, SetAssocCache, SimpleCore, TraceSink};
+use star_metadata::{DataLine, MacField, Node64, NodeId, SitGeometry, SitMac};
+use star_nvm::{AccessClass, LineAddr, NvmDevice, NvmStats};
+use std::collections::HashMap;
+
+/// A metadata node resident in the metadata cache, with the per-slot
+/// increment counts that drive STAR's forced flush at `2^10` increments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CachedNode {
+    node: Node64,
+    /// Counter increments since this node was last clean, per slot.
+    inc_since_clean: [u16; 8],
+}
+
+impl CachedNode {
+    fn clean(node: Node64) -> Self {
+        Self { node, inc_since_clean: [0; 8] }
+    }
+}
+
+/// The secure memory controller.
+///
+/// See the [crate-level docs](crate) for a quickstart. Addresses given to
+/// the data API are **user-data line indices** (`0..cfg.data_lines`).
+#[derive(Debug, Clone)]
+pub struct SecureMemory {
+    scheme: SchemeKind,
+    cfg: SecureMemConfig,
+    geometry: SitGeometry,
+    mac: SitMac,
+    aes: Aes128,
+    nvm: NvmDevice,
+    hierarchy: CacheHierarchy,
+    core: SimpleCore,
+    meta_cache: SetAssocCache<CachedNode>,
+    /// The on-chip SIT root register: parent counters of the top-level
+    /// in-NVM nodes.
+    root: Node64,
+    /// STAR state.
+    bitmap: Option<MultiLayerBitmap>,
+    /// Anubis state.
+    st_slots: Option<StSlotMap>,
+    st_base: u64,
+    /// Nodes pinned against eviction while an operation depends on them
+    /// (stack discipline: balanced push/pop).
+    pins: Vec<u64>,
+    /// Dirty victims evicted but not yet written back. Processed
+    /// iteratively by the outermost insertion, so deep eviction cascades
+    /// cannot recurse.
+    pending_writebacks: Vec<(u64, CachedNode)>,
+    /// Re-entrancy guard: only the outermost `insert_meta` drains.
+    draining: bool,
+    /// Metadata nodes that exhausted their LSB window and must be flushed.
+    pending_force: Vec<u64>,
+    forced_flushes: u64,
+    barriers: u64,
+    integrity_violations: u64,
+    mac_computations: u64,
+    ops_buf: Vec<MemSideOp>,
+}
+
+impl SecureMemory {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SecureMemConfig::validate`].
+    pub fn new(scheme: SchemeKind, cfg: SecureMemConfig) -> Self {
+        Self::try_new(scheme, cfg).expect("invalid SecureMemConfig")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an inconsistent configuration.
+    pub fn try_new(scheme: SchemeKind, cfg: SecureMemConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        if cfg.eager_updates && matches!(scheme, SchemeKind::Star | SchemeKind::Anubis) {
+            return Err(format!(
+                "{scheme} is designed for the lazy SIT update scheme; eager_updates only \
+                 composes with WB and Strict"
+            ));
+        }
+        let geometry = SitGeometry::new(cfg.data_lines);
+        let layout = BitmapLayout::new(geometry.total_meta_lines(), geometry.meta_end());
+        let st_base = geometry.meta_end() + layout.ra_lines();
+        let bitmap = (scheme == SchemeKind::Star)
+            .then(|| MultiLayerBitmap::new(layout, cfg.adr_bitmap_lines));
+        let st_slots =
+            (scheme == SchemeKind::Anubis).then(|| StSlotMap::new(cfg.metadata_cache_lines()));
+        Ok(Self {
+            scheme,
+            geometry,
+            mac: SitMac::new(MacKey::from_seed(cfg.key_seed)),
+            aes: Aes128::from_seed(cfg.key_seed ^ 0xa55a_a55a),
+            nvm: NvmDevice::new(cfg.nvm),
+            hierarchy: CacheHierarchy::new(cfg.hierarchy),
+            core: SimpleCore::new(cfg.core),
+            meta_cache: SetAssocCache::new(cfg.metadata_cache_sets(), cfg.metadata_cache_ways),
+            root: Node64::zeroed(),
+            bitmap,
+            st_slots,
+            st_base,
+            pins: Vec::new(),
+            pending_writebacks: Vec::new(),
+            draining: false,
+            pending_force: Vec::new(),
+            forced_flushes: 0,
+            barriers: 0,
+            integrity_violations: 0,
+            mac_computations: 0,
+            ops_buf: Vec::new(),
+            cfg,
+        })
+    }
+
+    /// The scheme this engine runs.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SecureMemConfig {
+        &self.cfg
+    }
+
+    /// The tree/address geometry.
+    pub fn geometry(&self) -> &SitGeometry {
+        &self.geometry
+    }
+
+    /// NVM device statistics.
+    pub fn nvm_stats(&self) -> &NvmStats {
+        self.nvm.stats()
+    }
+
+    /// Bitmap statistics (STAR only).
+    pub fn bitmap_stats(&self) -> Option<BitmapStats> {
+        self.bitmap.as_ref().map(|b| b.stats())
+    }
+
+    /// Per-line NVM wear statistics.
+    pub fn wear(&self) -> &star_nvm::WearTracker {
+        self.nvm.wear()
+    }
+
+    /// The NVM line ranges of the scheme's extra-traffic regions:
+    /// `(recovery-area start, recovery-area end, shadow-table start)`.
+    /// Useful for scoping wear summaries to a region.
+    pub fn region_bounds(&self) -> (u64, u64, u64) {
+        (self.geometry.meta_end(), self.st_base, self.st_base)
+    }
+
+    /// Instructions per cycle so far.
+    pub fn ipc(&self) -> f64 {
+        self.core.ipc()
+    }
+
+    /// Fraction of resident metadata-cache lines that are dirty
+    /// (paper Fig. 14a).
+    pub fn dirty_metadata_fraction(&self) -> f64 {
+        let len = self.meta_cache.len();
+        if len == 0 {
+            0.0
+        } else {
+            self.meta_cache.dirty_count() as f64 / len as f64
+        }
+    }
+
+    /// Number of dirty metadata lines in the cache.
+    pub fn dirty_metadata_count(&self) -> usize {
+        self.meta_cache.dirty_count()
+    }
+
+    /// Integrity-verification failures observed (0 in attack-free runs).
+    pub fn integrity_violations(&self) -> u64 {
+        self.integrity_violations
+    }
+
+    /// Builds the aggregate run report for the figures.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            scheme: self.scheme,
+            nvm: self.nvm.stats().clone(),
+            instructions: self.core.instructions(),
+            cycles: self.core.cycles(),
+            ipc: self.core.ipc(),
+            energy_pj: self.nvm.stats().energy_pj,
+            bitmap: self.bitmap_stats(),
+            dirty_metadata: self.meta_cache.dirty_count(),
+            cached_metadata: self.meta_cache.len(),
+            metadata_cache_capacity: self.meta_cache.capacity_lines(),
+            forced_flushes: self.forced_flushes,
+            barriers: self.barriers,
+            mac_computations: self.mac_computations,
+            hierarchy: self.hierarchy.stats(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public data API (program-facing).
+    // ------------------------------------------------------------------
+
+    /// Program store of `version` into data line `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is outside the data region.
+    pub fn write_data(&mut self, line: u64, version: u64) {
+        self.on_event(MemEvent::Write { line, version });
+    }
+
+    /// Persists data line `line` (`clwb` semantics).
+    pub fn persist_data(&mut self, line: u64) {
+        self.on_event(MemEvent::Clwb { line });
+    }
+
+    /// Persist barrier (`sfence`).
+    pub fn fence(&mut self) {
+        self.on_event(MemEvent::Fence);
+    }
+
+    /// Executes `count` compute instructions.
+    pub fn work(&mut self, count: u64) {
+        self.on_event(MemEvent::Work { count });
+    }
+
+    /// Program load from data line `line`; returns the stored version
+    /// (0 for never-written lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an integrity violation (tampered NVM) — attack-free runs
+    /// never panic.
+    pub fn read_data(&mut self, line: u64) -> u64 {
+        self.on_event(MemEvent::Read { line });
+        self.hierarchy.peek_version(line).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory-side processing.
+    // ------------------------------------------------------------------
+
+    fn now(&self) -> u64 {
+        self.core.now_ps()
+    }
+
+    fn handle_mem_side(&mut self, op: MemSideOp) {
+        match op {
+            MemSideOp::Fill { line } => {
+                let version = self.secure_data_fill(line);
+                self.hierarchy.set_version_clean(line, version);
+            }
+            MemSideOp::WriteBack { line, version } => self.secure_data_write(line, version),
+            MemSideOp::Barrier => self.barriers += 1,
+        }
+    }
+
+    /// LLC miss: read, verify and decrypt a data line from NVM.
+    fn secure_data_fill(&mut self, line: u64) -> u64 {
+        assert!(line < self.cfg.data_lines, "data line out of range");
+        let read = self.nvm.read(LineAddr::new(line), AccessClass::Data, self.now());
+        self.core.stall_read_ps(read.latency_ps);
+        if read.data.is_zero() {
+            return 0; // never written: initialization convention
+        }
+        let dl = DataLine::from_line(&read.data);
+        let (cb, slot) = self.geometry.parent_of_data(line);
+        self.ensure_cached(cb);
+        let counter = self.cached_node(cb).node.counter(slot);
+        if !self.mac.verify_data(line, dl.payload(), counter, dl.mac_field()) {
+            self.integrity_violations += 1;
+            panic!("integrity violation reading data line {line}");
+        }
+        // Decrypt: XOR the pad and pull the version out of the payload.
+        let pad = one_time_pad(&self.aes, line, counter);
+        let mut payload = *dl.payload();
+        for (p, k) in payload.iter_mut().zip(pad.iter()) {
+            *p ^= k;
+        }
+        u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"))
+    }
+
+    /// A data write-back reaching the controller: encrypt, MAC, persist,
+    /// and update the counter block per the lazy SIT scheme.
+    fn secure_data_write(&mut self, line: u64, version: u64) {
+        assert!(line < self.cfg.data_lines, "data line out of range");
+        let (cb, slot) = self.geometry.parent_of_data(line);
+        self.ensure_cached(cb);
+        let cb_flat = self.geometry.flat_index(cb);
+
+        let counter = {
+            let cn = self.meta_cache.get_mut(cb_flat).expect("just ensured");
+            let c = cn.node.increment_counter(slot);
+            cn.inc_since_clean[slot] = cn.inc_since_clean[slot].saturating_add(1);
+            c
+        };
+        self.check_force_flush(cb_flat, slot);
+
+        // Encrypt the payload with the fresh counter's one-time pad.
+        let mut dl = DataLine::from_version(version);
+        let pad = one_time_pad(&self.aes, line, counter);
+        for (p, k) in dl.payload_mut().iter_mut().zip(pad.iter()) {
+            *p ^= k;
+        }
+        let lsb = self.synergized_lsb(counter);
+        self.mac_computations += 1;
+        let mac = self.mac.data_mac(line, dl.payload(), counter, lsb);
+        dl.set_mac_field(MacField::new(mac, lsb));
+
+        let w = self.nvm.write(LineAddr::new(line), dl.to_line(), AccessClass::Data, self.now());
+        self.core.stall_write_ps(w.stall_ps);
+
+        match self.scheme {
+            SchemeKind::Strict => self.strict_persist_chain(cb),
+            _ => {
+                self.anubis_st_write(cb_flat);
+                self.mark_node_dirty(cb_flat);
+                if self.cfg.eager_updates {
+                    self.eager_propagate(cb);
+                }
+            }
+        }
+        self.drain_forced_flushes();
+    }
+
+    /// The eager SIT update scheme: propagate the counter increment to
+    /// the on-chip root immediately. Every node on the branch is dirtied
+    /// and its MAC recomputed per write — the cost the lazy scheme
+    /// (paper §II-C) avoids.
+    fn eager_propagate(&mut self, start: star_metadata::NodeId) {
+        let mut cur = start;
+        loop {
+            self.pins.push(self.geometry.flat_index(cur));
+            let (_, parent_flat) = self.bump_parent_counter(cur);
+            self.pins.pop();
+            // The parent's MAC must be refreshed for the new counter.
+            self.mac_computations += 1;
+            match (parent_flat, self.geometry.parent(cur)) {
+                (Some(pf), Some(p)) => {
+                    self.mark_node_dirty(pf);
+                    cur = p;
+                }
+                _ => break, // reached the on-chip root
+            }
+        }
+    }
+
+    /// The 10 LSBs stored alongside a MAC — only STAR synergizes them.
+    fn synergized_lsb(&self, counter: u64) -> u16 {
+        if self.scheme == SchemeKind::Star {
+            (counter & ((1 << self.cfg.counter_lsb_bits) - 1)) as u16
+        } else {
+            0
+        }
+    }
+
+    fn cached_node(&self, node: NodeId) -> &CachedNode {
+        self.meta_cache.peek(self.geometry.flat_index(node)).expect("node must be cached")
+    }
+
+    /// The current counter covering `node`, from its parent (or the root
+    /// register for top-level nodes). The parent must already be cached
+    /// unless it is the root.
+    fn parent_counter(&mut self, node: NodeId) -> u64 {
+        match self.geometry.parent(node) {
+            None => self.root.counter(node.index as usize),
+            Some(p) => {
+                self.ensure_cached(p);
+                self.cached_node(p).node.counter(self.geometry.parent_slot(node))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata cache management.
+    // ------------------------------------------------------------------
+
+    /// Guarantees `node` is resident in the metadata cache, fetching and
+    /// verifying it (and, transitively, the ancestors needed to verify
+    /// it) from NVM. The ancestor chain is pinned against eviction while
+    /// the fetch is in flight.
+    fn ensure_cached(&mut self, node: NodeId) {
+        let flat = self.geometry.flat_index(node);
+        if self.meta_cache.touch(flat) {
+            return;
+        }
+        // An evicted-but-not-yet-written victim never really left: its NVM
+        // copy is stale, so resurrect the owned value instead of reading.
+        if let Some(pos) = self.pending_writebacks.iter().position(|(f, _)| *f == flat) {
+            let (_, cn) = self.pending_writebacks.remove(pos);
+            self.insert_meta_dirty(flat, cn, true);
+            return;
+        }
+        // The parent's counter is an input to this node's MAC; keep the
+        // parent resident until this node is verified and inserted.
+        let pinned = self.geometry.parent(node).map(|p| {
+            self.ensure_cached(p);
+            let pf = self.geometry.flat_index(p);
+            self.pins.push(pf);
+            pf
+        });
+        // Ensuring the parent can drain deferred write-backs, and one of
+        // them may have fetched (and even dirtied) this very node —
+        // inserting our stale NVM read over it would lose its updates.
+        if self.meta_cache.touch(flat) {
+            if pinned.is_some() {
+                self.pins.pop();
+            }
+            return;
+        }
+        if let Some(pos) = self.pending_writebacks.iter().position(|(f, _)| *f == flat) {
+            let (_, cn) = self.pending_writebacks.remove(pos);
+            self.insert_meta_dirty(flat, cn, true);
+            if pinned.is_some() {
+                self.pins.pop();
+            }
+            return;
+        }
+        let pc = self.parent_counter(node);
+        let read = self.nvm.read(self.geometry.line_of(node), AccessClass::Metadata, self.now());
+        self.core.stall_read_ps(read.latency_ps);
+        let n = if read.data.is_zero() {
+            // Never-initialized node: all-zero counters, by convention.
+            Node64::zeroed()
+        } else {
+            let n = Node64::from_line(&read.data);
+            if !self.mac.verify_node(self.geometry.line_of(node).index(), &n, pc) {
+                self.integrity_violations += 1;
+                let diag: Vec<i64> = (-4i64..=4)
+                    .filter(|d| {
+                        self.mac.verify_node(
+                            self.geometry.line_of(node).index(),
+                            &n,
+                            pc.wrapping_add_signed(*d),
+                        )
+                    })
+                    .collect();
+                panic!(
+                    "integrity violation reading metadata node {node}: pc={pc}, \
+                     verifying offsets={diag:?}, lsb10={}",
+                    n.mac_field().lsb10()
+                );
+            }
+            n
+        };
+        self.insert_meta(flat, CachedNode::clean(n));
+        if pinned.is_some() {
+            self.pins.pop();
+        }
+    }
+
+    /// Moves every pinned line mapping to `flat`'s set to MRU so the LRU
+    /// victim is never a pinned line.
+    fn shield_pins(&mut self, flat: u64) {
+        let sets = self.meta_cache.num_sets() as u64;
+        let pins: Vec<u64> = self
+            .pins
+            .iter()
+            .copied()
+            .filter(|p| p % sets == flat % sets)
+            .collect();
+        for p in pins {
+            self.meta_cache.touch(p);
+        }
+    }
+
+    /// Inserts a fetched node, evicting the LRU non-pinned line of its
+    /// set. Dirty victims are queued and written back iteratively by the
+    /// outermost insertion — their values are owned by then, so the
+    /// ancestor fetches a write-back needs can never deadlock against or
+    /// recurse through the insertion that evicted them.
+    fn insert_meta(&mut self, flat: u64, cn: CachedNode) {
+        self.insert_meta_dirty(flat, cn, false);
+    }
+
+    fn insert_meta_dirty(&mut self, flat: u64, cn: CachedNode, dirty: bool) {
+        self.shield_pins(flat);
+        let out = self.meta_cache.insert(flat, cn, dirty);
+        if let Some(ev) = out.evicted {
+            if ev.dirty {
+                self.pending_writebacks.push((ev.addr, ev.value));
+            }
+        }
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        // Keep the just-inserted node resident while the queue drains.
+        self.pins.push(flat);
+        let mut guard = 0;
+        while let Some((vf, vcn)) = self.pending_writebacks.pop() {
+            guard += 1;
+            assert!(guard < 1_000_000, "write-back queue livelock");
+            self.writeback_node(vf, vcn);
+        }
+        self.pins.pop();
+        self.draining = false;
+    }
+
+    /// Marks a cached node dirty, running the scheme's dirty-transition
+    /// hook on a clean→dirty edge (STAR: set the bitmap bit).
+    fn mark_node_dirty(&mut self, flat: u64) {
+        let was = self.meta_cache.set_dirty(flat, true).expect("node must be cached");
+        if !was {
+            if let Some(bitmap) = self.bitmap.as_mut() {
+                let stall = bitmap.set(flat, &mut self.nvm, self.core.now_ps());
+                self.core.stall_write_ps(stall);
+            }
+        }
+    }
+
+    /// The dirty→clean hooks: STAR clears the bitmap bit, Anubis frees the
+    /// node's shadow-table slot.
+    fn on_node_clean(&mut self, flat: u64) {
+        if let Some(bitmap) = self.bitmap.as_mut() {
+            let stall = bitmap.clear(flat, &mut self.nvm, self.core.now_ps());
+            self.core.stall_write_ps(stall);
+        }
+        if let Some(st) = self.st_slots.as_mut() {
+            st.release(flat);
+        }
+    }
+
+    /// Persists an evicted dirty node (the lazy-SIT write path steps 1–4).
+    fn writeback_node(&mut self, flat: u64, mut cn: CachedNode) {
+        let node = self.geometry.node_at_flat(flat).expect("metadata address");
+        let (pc_new, parent_flat) = self.bump_parent_counter(node);
+        let lsb = self.synergized_lsb(pc_new);
+        self.mac_computations += 1;
+        let mac =
+            self.mac.node_mac(self.geometry.line_of(node).index(), cn.node.counters(), pc_new, lsb);
+        cn.node.set_mac_field(MacField::new(mac, lsb));
+        let w = self.nvm.write(
+            self.geometry.line_of(node),
+            cn.node.to_line(),
+            AccessClass::Metadata,
+            self.now(),
+        );
+        self.core.stall_write_ps(w.stall_ps);
+
+        // The evicted node is clean in NVM now.
+        self.on_node_clean(flat);
+
+        if let Some(pf) = parent_flat {
+            self.anubis_st_write(pf);
+            self.mark_node_dirty(pf);
+        } else {
+            // Top-level node: its counter lives in the on-chip root; for
+            // Anubis, keep the 1-ST-write-per-memory-write invariant by
+            // snapshotting the written node itself.
+            self.anubis_st_write(flat);
+        }
+    }
+
+    /// Increments the counter covering `node` in its parent (or the root
+    /// register) and returns `(new counter, parent flat index if any)`.
+    fn bump_parent_counter(&mut self, node: NodeId) -> (u64, Option<u64>) {
+        match self.geometry.parent(node) {
+            None => {
+                let v = self.root.increment_counter(node.index as usize);
+                (v, None)
+            }
+            Some(p) => {
+                self.ensure_cached(p);
+                let slot = self.geometry.parent_slot(node);
+                let pf = self.geometry.flat_index(p);
+                let v = {
+                    let cn = self.meta_cache.get_mut(pf).expect("just ensured");
+                    let v = cn.node.increment_counter(slot);
+                    cn.inc_since_clean[slot] = cn.inc_since_clean[slot].saturating_add(1);
+                    v
+                };
+                self.check_force_flush(pf, slot);
+                (v, Some(pf))
+            }
+        }
+    }
+
+    /// Queues a forced flush when a counter's LSB window is exhausted
+    /// (paper §III-B: after `2^10` increments the MSBs in NVM go stale
+    /// beyond what the synergized LSBs can restore).
+    fn check_force_flush(&mut self, flat: u64, slot: usize) {
+        if self.scheme != SchemeKind::Star {
+            return;
+        }
+        let window = (1u16 << self.cfg.counter_lsb_bits) - 1;
+        let cn = self.meta_cache.peek(flat).expect("cached");
+        if cn.inc_since_clean[slot] >= window && !self.pending_force.contains(&flat) {
+            self.pending_force.push(flat);
+        }
+    }
+
+    /// Flushes nodes whose LSB window is exhausted, in place (they stay
+    /// cached, clean).
+    fn drain_forced_flushes(&mut self) {
+        let mut guard = 0;
+        while let Some(flat) = self.pending_force.pop() {
+            guard += 1;
+            assert!(guard < 10_000, "forced-flush livelock");
+            if !self.meta_cache.is_dirty(flat) {
+                continue;
+            }
+            self.forced_flushes += 1;
+            self.flush_node_in_place(flat);
+        }
+    }
+
+    /// Persists a cached dirty node without evicting it.
+    fn flush_node_in_place(&mut self, flat: u64) {
+        let node = self.geometry.node_at_flat(flat).expect("metadata address");
+        // Fetching the parent chain must not evict the node being flushed.
+        self.pins.push(flat);
+        let (pc_new, parent_flat) = self.bump_parent_counter(node);
+        self.pins.pop();
+        let lsb = self.synergized_lsb(pc_new);
+        self.meta_cache.get_mut(flat).expect("cached").inc_since_clean = [0; 8];
+        // Recompute the MAC with the freshly bumped parent counter.
+        let counters = *self.meta_cache.peek(flat).expect("cached").node.counters();
+        self.mac_computations += 1;
+        let mac = self.mac.node_mac(self.geometry.line_of(node).index(), &counters, pc_new, lsb);
+        {
+            let cn = self.meta_cache.get_mut(flat).expect("cached");
+            cn.node.set_mac_field(MacField::new(mac, lsb));
+        }
+        let line = self.meta_cache.peek(flat).expect("cached").node.to_line();
+        let w = self.nvm.write(self.geometry.line_of(node), line, AccessClass::Metadata, self.now());
+        self.core.stall_write_ps(w.stall_ps);
+        self.meta_cache.set_dirty(flat, false);
+        self.on_node_clean(flat);
+        if let Some(pf) = parent_flat {
+            self.anubis_st_write(pf);
+            self.mark_node_dirty(pf);
+        }
+    }
+
+    /// Anubis hook: one shadow-table write per memory write, snapshotting
+    /// the dirty node `target_flat`.
+    fn anubis_st_write(&mut self, target_flat: u64) {
+        let Some(st) = self.st_slots.as_mut() else { return };
+        let slot = st.slot_for(target_flat);
+        let node = self
+            .meta_cache
+            .peek(target_flat)
+            .map(|cn| cn.node)
+            .unwrap_or_else(Node64::zeroed);
+        let entry = StEntry::new(target_flat, &node);
+        let addr = LineAddr::new(self.st_base + slot as u64);
+        let w = self.nvm.write(addr, entry.to_line(), AccessClass::ShadowTable, self.now());
+        self.core.stall_write_ps(w.stall_ps);
+    }
+
+    /// Strict persistence: write-through the whole branch from the counter
+    /// block to the root. Every written node stays clean.
+    fn strict_persist_chain(&mut self, start: NodeId) {
+        let mut cur = Some(start);
+        while let Some(n) = cur {
+            self.ensure_cached(n);
+            let flat = self.geometry.flat_index(n);
+            // Fetching the parent must not evict the node being persisted.
+            self.pins.push(flat);
+            let (pc_new, _) = self.bump_parent_counter(n);
+            self.pins.pop();
+            let mac = {
+                let counters = *self.meta_cache.peek(flat).expect("cached").node.counters();
+                self.mac_computations += 1;
+                self.mac.node_mac(self.geometry.line_of(n).index(), &counters, pc_new, 0)
+            };
+            {
+                let cn = self.meta_cache.get_mut(flat).expect("cached");
+                cn.node.set_mac_field(MacField::from_mac(mac));
+                cn.inc_since_clean = [0; 8];
+            }
+            let line = self.meta_cache.peek(flat).expect("cached").node.to_line();
+            let w =
+                self.nvm.write(self.geometry.line_of(n), line, AccessClass::Metadata, self.now());
+            self.core.stall_write_ps(w.stall_ps);
+            self.meta_cache.set_dirty(flat, false);
+            cur = self.geometry.parent(n);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash.
+    // ------------------------------------------------------------------
+
+    /// Crashes the machine: volatile state (caches, core) is lost, the
+    /// ADR region is battery-flushed into NVM, and the on-chip
+    /// non-volatile registers (SIT root, bitmap top layer, cache-tree
+    /// root) survive. Returns the [`CrashImage`] recovery operates on.
+    pub fn crash(mut self) -> CrashImage {
+        debug_assert!(
+            self.pending_writebacks.is_empty(),
+            "write-back queue drains before any public operation returns"
+        );
+        // Battery flush of the ADR-resident bitmap lines.
+        if let Some(bitmap) = &self.bitmap {
+            bitmap.crash_flush(self.nvm.store_mut());
+        }
+        // Ground truth: what the dirty metadata looked like in the cache.
+        let mut ground_truth = HashMap::new();
+        let mut dirty_entries = Vec::new();
+        for (flat, dirty, cn) in self.meta_cache.iter() {
+            if dirty {
+                ground_truth.insert(flat, *cn.node.counters());
+            }
+        }
+        // The cache-tree root over the dirty nodes' current MACs (paper
+        // Fig. 9). MACs are derived from the canonical rule: parent
+        // counter from the cache if resident, else from NVM.
+        let num_sets = self.meta_cache.num_sets();
+        for (&flat, counters) in &ground_truth {
+            let node = self.geometry.node_at_flat(flat).expect("metadata");
+            let pc = self.current_parent_counter_unsynced(node);
+            let lsb = self.synergized_lsb(pc);
+            let mac = self.mac.node_mac(self.geometry.line_of(node).index(), counters, pc, lsb);
+            dirty_entries.push((flat, MacField::new(mac, lsb).bits()));
+        }
+        let cache_tree_root = (self.scheme == SchemeKind::Star)
+            .then(|| cache_tree::root_from_dirty(&dirty_entries, num_sets));
+
+        let (bitmap_layout, bitmap_top) = match &self.bitmap {
+            Some(b) => (Some(b.layout().clone()), b.top_line()),
+            None => (None, star_nvm::Line::ZERO),
+        };
+        CrashImage::new(
+            self.scheme,
+            self.nvm.store().clone(),
+            self.geometry.clone(),
+            self.mac,
+            self.cfg.counter_lsb_bits,
+            self.root,
+            bitmap_layout,
+            bitmap_top,
+            cache_tree_root,
+            num_sets,
+            self.st_base,
+            self.st_slots
+                .as_ref()
+                .map_or(self.cfg.metadata_cache_lines(), |s| s.high_water()),
+            ground_truth,
+        )
+    }
+
+    /// Crash followed immediately by (attack-free) recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::recovery::RecoveryError`] — e.g. for the
+    /// non-recoverable WB scheme.
+    pub fn crash_and_recover(
+        self,
+    ) -> Result<crate::recovery::RecoveryReport, crate::recovery::RecoveryError> {
+        let mut image = self.crash();
+        crate::recovery::recover(&mut image)
+    }
+
+    /// Parent-counter lookup that must not mutate cache state (used at
+    /// crash time): cached value if resident, NVM value otherwise.
+    fn current_parent_counter_unsynced(&self, node: NodeId) -> u64 {
+        match self.geometry.parent(node) {
+            None => self.root.counter(node.index as usize),
+            Some(p) => {
+                let pf = self.geometry.flat_index(p);
+                let slot = self.geometry.parent_slot(node);
+                match self.meta_cache.peek(pf) {
+                    Some(cn) => cn.node.counter(slot),
+                    None => {
+                        Node64::from_line(&self.nvm.store().read(self.geometry.line_of(p)))
+                            .counter(slot)
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl TraceSink for SecureMemory {
+    fn on_event(&mut self, event: MemEvent) {
+        if let MemEvent::Work { count } = event {
+            self.core.retire_instructions(count);
+            return;
+        }
+        let mut ops = std::mem::take(&mut self.ops_buf);
+        ops.clear();
+        self.hierarchy.access(event, &mut ops);
+        for op in ops.drain(..) {
+            self.handle_mem_side(op);
+        }
+        self.ops_buf = ops;
+        self.drain_forced_flushes();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(scheme: SchemeKind) -> SecureMemory {
+        SecureMemory::new(scheme, SecureMemConfig::small())
+    }
+
+    #[test]
+    fn write_persist_read_roundtrip() {
+        for scheme in SchemeKind::ALL {
+            let mut m = engine(scheme);
+            m.write_data(5, 42);
+            m.persist_data(5);
+            m.fence();
+            assert_eq!(m.read_data(5), 42, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn read_after_cache_pressure_still_verifies() {
+        // Force data out of the CPU caches so reads hit NVM and exercise
+        // decrypt+verify.
+        let mut m = engine(SchemeKind::Star);
+        for i in 0..64 {
+            m.write_data(i, 1000 + i);
+            m.persist_data(i);
+        }
+        // Touch many other lines to evict.
+        for i in 2048..2048 + 100_000 / 64 {
+            m.write_data(i % m.config().data_lines, 7);
+        }
+        for i in 0..64 {
+            let v = m.read_data(i);
+            assert!(v == 1000 + i || v == 7, "line {i} returned {v}");
+        }
+        assert_eq!(m.integrity_violations(), 0);
+    }
+
+    #[test]
+    fn repeated_writes_increment_counter_and_stay_readable() {
+        let mut m = engine(SchemeKind::Star);
+        for round in 1..50u64 {
+            m.write_data(9, round);
+            m.persist_data(9);
+        }
+        assert_eq!(m.read_data(9), 49);
+    }
+
+    #[test]
+    fn strict_leaves_no_dirty_metadata() {
+        let mut m = engine(SchemeKind::Strict);
+        for i in 0..200 {
+            m.write_data(i % 37, i);
+            m.persist_data(i % 37);
+        }
+        assert_eq!(m.dirty_metadata_count(), 0, "strict is write-through");
+    }
+
+    #[test]
+    fn strict_writes_whole_branch() {
+        let mut m = engine(SchemeKind::Strict);
+        m.write_data(0, 1);
+        m.persist_data(0);
+        let s = m.nvm_stats();
+        assert_eq!(s.writes(AccessClass::Data), 1);
+        // One metadata write per tree level.
+        assert_eq!(
+            s.writes(AccessClass::Metadata),
+            m.geometry().levels() as u64,
+            "strict persists the full branch"
+        );
+    }
+
+    #[test]
+    fn anubis_writes_st_per_memory_write() {
+        let mut m = engine(SchemeKind::Anubis);
+        for i in 0..500 {
+            m.write_data(i % 80, i);
+            m.persist_data(i % 80);
+        }
+        let s = m.nvm_stats();
+        let normal = s.writes(AccessClass::Data) + s.writes(AccessClass::Metadata);
+        let st = s.writes(AccessClass::ShadowTable);
+        assert_eq!(st, normal, "Anubis doubles the write traffic");
+    }
+
+    #[test]
+    fn star_writes_no_shadow_traffic() {
+        let mut m = engine(SchemeKind::Star);
+        for i in 0..500 {
+            m.write_data(i % 80, i);
+            m.persist_data(i % 80);
+        }
+        let s = m.nvm_stats();
+        assert_eq!(s.writes(AccessClass::ShadowTable), 0);
+    }
+
+    #[test]
+    fn wb_and_star_have_same_normal_traffic() {
+        let run = |scheme| {
+            let mut m = engine(scheme);
+            for i in 0..2_000u64 {
+                let line = (i * 37) % 500;
+                m.write_data(line, i);
+                m.persist_data(line);
+            }
+            let s = m.nvm_stats();
+            (s.writes(AccessClass::Data), s.writes(AccessClass::Metadata))
+        };
+        let (wd, wm) = run(SchemeKind::WriteBack);
+        let (sd, sm) = run(SchemeKind::Star);
+        assert_eq!(wd, sd, "data writes identical");
+        // STAR may add forced flushes, but with short runs they are zero.
+        assert_eq!(wm, sm, "metadata writes identical");
+    }
+
+    #[test]
+    fn dirty_fraction_grows_with_writes() {
+        let mut m = engine(SchemeKind::Star);
+        for i in 0..5_000u64 {
+            let line = (i * 631) % 4_000;
+            m.write_data(line, i);
+            m.persist_data(line);
+        }
+        assert!(m.dirty_metadata_fraction() > 0.3, "{}", m.dirty_metadata_fraction());
+    }
+
+    #[test]
+    fn ipc_is_reported() {
+        let mut m = engine(SchemeKind::WriteBack);
+        m.work(10_000);
+        m.write_data(1, 1);
+        m.persist_data(1);
+        assert!(m.ipc() > 0.0 && m.ipc() <= 2.0);
+    }
+
+    #[test]
+    fn forced_flush_fires_after_lsb_window() {
+        let mut cfg = SecureMemConfig::small();
+        cfg.counter_lsb_bits = 2; // window of 3 increments
+        let mut m = SecureMemory::new(SchemeKind::Star, cfg);
+        for i in 0..64u64 {
+            m.write_data(0, i);
+            m.persist_data(0);
+        }
+        assert!(m.report().forced_flushes > 0, "2-bit window must force flushes");
+        assert_eq!(m.read_data(0), 63);
+    }
+
+    #[test]
+    fn report_is_populated() {
+        let mut m = engine(SchemeKind::Star);
+        m.work(100);
+        m.write_data(3, 4);
+        m.persist_data(3);
+        let r = m.report();
+        assert_eq!(r.scheme, SchemeKind::Star);
+        assert!(r.nvm.total_writes() >= 1);
+        assert!(r.bitmap.is_some());
+        assert_eq!(r.metadata_cache_capacity, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_data_write_panics() {
+        let mut m = engine(SchemeKind::WriteBack);
+        let max = m.config().data_lines;
+        m.write_data(max, 1);
+        m.persist_data(max);
+    }
+}

@@ -1,0 +1,10 @@
+//! STAR-specific machinery: bitmap lines with the multi-layer index,
+//! the cache-tree, and counter restoration.
+
+pub mod bitmap;
+pub mod cache_tree;
+pub mod restore;
+
+pub use bitmap::{BitmapLayout, BitmapStats, MultiLayerBitmap};
+pub use cache_tree::{cache_tree_root, set_mac, CacheTreeRoot};
+pub use restore::restore_counter;

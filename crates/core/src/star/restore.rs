@@ -1,0 +1,94 @@
+//! Counter restoration from MSBs + LSBs (paper §III-B).
+//!
+//! A stale node's NVM copy carries the counter's most-significant bits;
+//! the child node persisted last carries the 10 least-significant bits of
+//! the *current* counter in its MAC field. Because STAR force-flushes a
+//! node once any of its counters has been incremented `2^10` times, the
+//! true counter is always within `2^10 − 1` of the stale one, so exactly
+//! one candidate matches the LSBs.
+
+use star_metadata::COUNTER_MASK;
+
+/// Reconstructs the current counter from the stale (NVM) value and the
+/// `lsb_bits` least-significant bits persisted in a child's MAC field.
+///
+/// Returns the smallest counter `c >= stale` with `c % 2^lsb_bits == lsb`.
+/// With the forced-flush invariant this is the true pre-crash value.
+///
+/// ```
+/// use star_core::star::restore_counter;
+/// assert_eq!(restore_counter(0x1400, 0x005, 10), 0x1405);
+/// // LSBs wrapped past a 2^10 boundary since the last flush:
+/// assert_eq!(restore_counter(0x17ff, 0x002, 10), 0x1802);
+/// // Child clean at crash: counter unchanged.
+/// assert_eq!(restore_counter(0x1234, 0x234, 10), 0x1234);
+/// ```
+pub fn restore_counter(stale: u64, lsb: u16, lsb_bits: u32) -> u64 {
+    debug_assert!((1..=10).contains(&lsb_bits), "paper uses up to 10 spare bits");
+    let modulus = 1u64 << lsb_bits;
+    debug_assert!(u64::from(lsb) < modulus);
+    let base = stale & !(modulus - 1);
+    let mut c = base | u64::from(lsb);
+    if c < stale {
+        c += modulus;
+    }
+    c & COUNTER_MASK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unchanged_counter_restores_to_itself() {
+        for stale in [0u64, 1, 1023, 1024, 99_999] {
+            assert_eq!(restore_counter(stale, (stale & 0x3ff) as u16, 10), stale);
+        }
+    }
+
+    #[test]
+    fn small_increment_without_wrap() {
+        assert_eq!(restore_counter(100, 105 & 0x3ff, 10), 105);
+    }
+
+    #[test]
+    fn wrap_across_boundary() {
+        // stale = 1023, true = 1025 → lsb = 1.
+        assert_eq!(restore_counter(1023, 1, 10), 1025);
+    }
+
+    #[test]
+    fn narrower_lsb_fields_work() {
+        // 4 spare bits: modulus 16.
+        assert_eq!(restore_counter(30, 2, 4), 34);
+        assert_eq!(restore_counter(30, 14, 4), 30);
+    }
+
+    proptest! {
+        /// The defining property: if the true counter advanced by fewer
+        /// than `2^bits` increments since the stale copy was persisted,
+        /// restoration is exact.
+        #[test]
+        fn exact_within_flush_window(
+            stale in 0u64..=(COUNTER_MASK - 1024),
+            delta_raw in 0u64..1024,
+            bits in 1u32..=10,
+        ) {
+            let modulus = 1u64 << bits;
+            let delta = delta_raw % modulus;
+            let truth = stale + delta;
+            let lsb = (truth % modulus) as u16;
+            prop_assert_eq!(restore_counter(stale, lsb, bits), truth);
+        }
+
+        /// Restoration never goes backwards and never jumps a full window.
+        #[test]
+        fn bounded(stale in 0u64..=(COUNTER_MASK - 2048), lsb in 0u16..1024) {
+            let c = restore_counter(stale, lsb, 10);
+            prop_assert!(c >= stale);
+            prop_assert!(c < stale + 1024);
+            prop_assert_eq!(c & 0x3ff, u64::from(lsb));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Aggregate run statistics for the evaluation harness.
+
+use crate::config::SchemeKind;
+use crate::star::bitmap::BitmapStats;
+use star_mem::hierarchy::HierarchyStats;
+use star_nvm::{AccessClass, NvmStats};
+
+/// Everything the figures need from one workload run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scheme that produced this run.
+    pub scheme: SchemeKind,
+    /// NVM device statistics (reads/writes by class, stalls, energy).
+    pub nvm: NvmStats,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Total NVM energy, picojoules.
+    pub energy_pj: u64,
+    /// Bitmap statistics (STAR only).
+    pub bitmap: Option<BitmapStats>,
+    /// Dirty metadata lines in the cache at the end of the run.
+    pub dirty_metadata: usize,
+    /// Resident metadata lines at the end of the run.
+    pub cached_metadata: usize,
+    /// Metadata cache capacity in lines.
+    pub metadata_cache_capacity: usize,
+    /// Forced flushes due to LSB-window exhaustion (STAR).
+    pub forced_flushes: u64,
+    /// Persist barriers observed.
+    pub barriers: u64,
+    /// MAC computations performed (the eager-vs-lazy ablation metric).
+    pub mac_computations: u64,
+    /// CPU cache hierarchy statistics.
+    pub hierarchy: HierarchyStats,
+}
+
+impl RunReport {
+    /// Total NVM write traffic in lines (the paper's Fig. 11 metric).
+    pub fn total_writes(&self) -> u64 {
+        self.nvm.total_writes()
+    }
+
+    /// "Normal" writes — the traffic a WB system would do (data +
+    /// metadata evictions), excluding scheme-specific extras.
+    pub fn normal_writes(&self) -> u64 {
+        self.nvm.writes(AccessClass::Data) + self.nvm.writes(AccessClass::Metadata)
+    }
+
+    /// Scheme-specific extra writes (bitmap lines, shadow table).
+    pub fn extra_writes(&self) -> u64 {
+        self.nvm.writes(AccessClass::BitmapLine) + self.nvm.writes(AccessClass::ShadowTable)
+    }
+
+    /// Fraction of the metadata cache dirty at the end (Fig. 14a).
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.cached_metadata == 0 {
+            0.0
+        } else {
+            self.dirty_metadata as f64 / self.cached_metadata as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut nvm = NvmStats::new();
+        for _ in 0..10 {
+            nvm.record_write(AccessClass::Data);
+        }
+        for _ in 0..5 {
+            nvm.record_write(AccessClass::Metadata);
+        }
+        for _ in 0..2 {
+            nvm.record_write(AccessClass::BitmapLine);
+        }
+        let r = RunReport {
+            scheme: SchemeKind::Star,
+            nvm,
+            instructions: 100,
+            cycles: 50.0,
+            ipc: 2.0,
+            energy_pj: 0,
+            bitmap: None,
+            dirty_metadata: 3,
+            cached_metadata: 4,
+            metadata_cache_capacity: 8,
+            forced_flushes: 0,
+            barriers: 0,
+            mac_computations: 0,
+            hierarchy: HierarchyStats::default(),
+        };
+        assert_eq!(r.total_writes(), 17);
+        assert_eq!(r.normal_writes(), 15);
+        assert_eq!(r.extra_writes(), 2);
+        assert!((r.dirty_fraction() - 0.75).abs() < 1e-9);
+    }
+}

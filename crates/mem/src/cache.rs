@@ -1,0 +1,312 @@
+//! A generic set-associative, write-back cache with true-LRU replacement.
+//!
+//! The same structure backs the CPU cache levels (with `V = ()`) and the
+//! security-metadata cache in the memory controller (with `V = Node64`),
+//! because the paper's cache-tree is built directly on the metadata
+//! cache's set/way organization (§III-E) — so set membership and
+//! within-set ordering must be first-class here.
+
+/// A line evicted to make room for an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted<V> {
+    /// The address (line index) of the victim.
+    pub addr: u64,
+    /// Whether the victim was dirty (needs a write-back).
+    pub dirty: bool,
+    /// The victim's payload.
+    pub value: V,
+}
+
+/// Result of [`SetAssocCache::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome<V> {
+    /// The victim evicted by LRU, if the set was full.
+    pub evicted: Option<Evicted<V>>,
+}
+
+#[derive(Debug, Clone)]
+struct Way<V> {
+    addr: u64,
+    dirty: bool,
+    value: V,
+}
+
+/// A set-associative cache mapping line addresses to payloads.
+///
+/// Replacement is true LRU within each set. The set index is
+/// `addr % num_sets`, matching the line-interleaved indexing of the
+/// modeled caches.
+///
+/// ```
+/// use star_mem::SetAssocCache;
+/// let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 2);
+/// c.insert(0, 10, false);
+/// c.insert(2, 20, true); // same set as 0
+/// let out = c.insert(4, 30, false); // evicts LRU (addr 0)
+/// assert_eq!(out.evicted.unwrap().addr, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<V> {
+    sets: Vec<Vec<Way<V>>>,
+    ways: usize,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates a cache with `num_sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `ways` is zero.
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets > 0, "cache needs at least one set");
+        assert!(ways > 0, "cache needs at least one way");
+        Self { sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(), ways }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Lines currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// The set index `addr` maps to.
+    pub fn set_of(&self, addr: u64) -> usize {
+        (addr % self.sets.len() as u64) as usize
+    }
+
+    /// True if `addr` is resident (no recency update).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.sets[self.set_of(addr)].iter().any(|w| w.addr == addr)
+    }
+
+    /// True if `addr` is resident and dirty (no recency update).
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        self.sets[self.set_of(addr)]
+            .iter()
+            .any(|w| w.addr == addr && w.dirty)
+    }
+
+    /// Looks up `addr` without updating recency or dirtiness.
+    pub fn peek(&self, addr: u64) -> Option<&V> {
+        self.sets[self.set_of(addr)]
+            .iter()
+            .find(|w| w.addr == addr)
+            .map(|w| &w.value)
+    }
+
+    /// Looks up `addr`, marking it most-recently-used.
+    pub fn get_mut(&mut self, addr: u64) -> Option<&mut V> {
+        let set_idx = self.set_of(addr);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|w| w.addr == addr)?;
+        let way = set.remove(pos);
+        set.push(way);
+        Some(&mut set.last_mut().expect("just pushed").value)
+    }
+
+    /// Touches `addr` (recency only). Returns true if it was resident.
+    pub fn touch(&mut self, addr: u64) -> bool {
+        self.get_mut(addr).is_some()
+    }
+
+    /// Inserts `addr` with `value`, marking it MRU; evicts LRU on overflow.
+    ///
+    /// If `addr` is already resident its value and dirtiness are replaced.
+    pub fn insert(&mut self, addr: u64, value: V, dirty: bool) -> InsertOutcome<V> {
+        let set_idx = self.set_of(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.addr == addr) {
+            let mut way = set.remove(pos);
+            way.value = value;
+            way.dirty = dirty;
+            set.push(way);
+            return InsertOutcome { evicted: None };
+        }
+        let evicted = if set.len() >= self.ways {
+            let victim = set.remove(0);
+            Some(Evicted { addr: victim.addr, dirty: victim.dirty, value: victim.value })
+        } else {
+            None
+        };
+        set.push(Way { addr, dirty, value });
+        InsertOutcome { evicted }
+    }
+
+    /// Sets the dirty bit of a resident line. Returns the previous dirty
+    /// state, or `None` if absent. Does not update recency.
+    pub fn set_dirty(&mut self, addr: u64, dirty: bool) -> Option<bool> {
+        let set_idx = self.set_of(addr);
+        let way = self.sets[set_idx].iter_mut().find(|w| w.addr == addr)?;
+        let was = way.dirty;
+        way.dirty = dirty;
+        Some(was)
+    }
+
+    /// Removes `addr`, returning its payload and dirtiness.
+    pub fn remove(&mut self, addr: u64) -> Option<(V, bool)> {
+        let set_idx = self.set_of(addr);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|w| w.addr == addr)?;
+        let way = set.remove(pos);
+        Some((way.value, way.dirty))
+    }
+
+    /// The LRU victim of the set `addr` maps to, if that set is full.
+    pub fn victim_for(&self, addr: u64) -> Option<(u64, bool)> {
+        let set = &self.sets[self.set_of(addr)];
+        if set.len() >= self.ways {
+            set.first().map(|w| (w.addr, w.dirty))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(addr, dirty, &value)` of every resident line.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, bool, &V)> {
+        self.sets.iter().flatten().map(|w| (w.addr, w.dirty, &w.value))
+    }
+
+    /// Iterates over `(addr, dirty, &value)` in one set (recency order,
+    /// LRU first).
+    pub fn iter_set(&self, set_index: usize) -> impl Iterator<Item = (u64, bool, &V)> {
+        self.sets[set_index].iter().map(|w| (w.addr, w.dirty, &w.value))
+    }
+
+    /// Number of dirty resident lines.
+    pub fn dirty_count(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.dirty).count()
+    }
+
+    /// Addresses of all dirty resident lines.
+    pub fn dirty_addrs(&self) -> Vec<u64> {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|w| w.dirty)
+            .map(|w| w.addr)
+            .collect()
+    }
+
+    /// Removes every line, returning `(addr, dirty, value)` triples.
+    pub fn drain_all(&mut self) -> Vec<(u64, bool, V)> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for w in set.drain(..) {
+                out.push((w.addr, w.dirty, w.value));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(4, 2);
+        assert!(c.get_mut(8).is_none());
+        c.insert(8, 1, false);
+        assert_eq!(*c.get_mut(8).unwrap(), 1);
+        assert!(c.contains(8));
+        assert!(!c.contains(12));
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 2);
+        c.insert(1, 1, false);
+        c.insert(2, 2, false);
+        c.touch(1); // 2 becomes LRU
+        let out = c.insert(3, 3, false);
+        assert_eq!(out.evicted.unwrap().addr, 2);
+    }
+
+    #[test]
+    fn eviction_reports_dirty_payload() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 1);
+        c.insert(1, 42, true);
+        let out = c.insert(2, 0, false);
+        let ev = out.evicted.unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.value, 42);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 1);
+        c.insert(0, 0, false); // set 0
+        let out = c.insert(1, 1, false); // set 1
+        assert!(out.evicted.is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn set_dirty_transitions() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(1, 4);
+        c.insert(1, (), false);
+        assert_eq!(c.set_dirty(1, true), Some(false));
+        assert!(c.is_dirty(1));
+        assert_eq!(c.set_dirty(1, true), Some(true));
+        assert_eq!(c.set_dirty(99, true), None);
+        assert_eq!(c.dirty_count(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_value_and_dirty() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 2);
+        c.insert(1, 10, true);
+        let out = c.insert(1, 20, false);
+        assert!(out.evicted.is_none());
+        assert_eq!(c.len(), 1);
+        assert_eq!(*c.peek(1).unwrap(), 20);
+        assert!(!c.is_dirty(1));
+    }
+
+    #[test]
+    fn victim_prediction_matches_eviction() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 2);
+        c.insert(1, 1, true);
+        c.insert(2, 2, false);
+        let predicted = c.victim_for(4).unwrap();
+        let actual = c.insert(4, 4, false).evicted.unwrap();
+        assert_eq!(predicted, (actual.addr, actual.dirty));
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 2);
+        for i in 0..4 {
+            c.insert(i, i as u32, i % 2 == 0);
+        }
+        let drained = c.drain_all();
+        assert_eq!(drained.len(), 4);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_rejected() {
+        SetAssocCache::<()>::new(0, 1);
+    }
+}

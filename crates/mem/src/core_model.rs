@@ -1,0 +1,139 @@
+//! An analytic core timing model.
+//!
+//! Converts the instruction stream plus memory stalls into cycles and IPC.
+//! The model is deliberately simple — the paper reports IPC *normalized to
+//! the WB baseline*, and every scheme executes the identical instruction
+//! stream, so the ratios are set by the extra memory stalls each scheme
+//! induces:
+//!
+//! * read fills block the core for their full latency (minus a fixed
+//!   memory-level-parallelism overlap factor);
+//! * posted writes are free until the device's write queue fills, at which
+//!   point the acceptance stall is charged;
+//! * fences serialize (charged by the engine as the residual drain time).
+
+/// Core model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Core frequency in GHz (paper: 2 GHz).
+    pub freq_ghz: f64,
+    /// Peak IPC on pure compute (no memory stalls).
+    pub base_ipc: f64,
+    /// Fraction of a blocking read's latency hidden by MLP/prefetching.
+    pub read_overlap: f64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self { freq_ghz: 2.0, base_ipc: 2.0, read_overlap: 0.4 }
+    }
+}
+
+/// Accumulates instructions and stall time; reports cycles and IPC.
+///
+/// ```
+/// use star_mem::{SimpleCore, CoreConfig};
+/// let mut core = SimpleCore::new(CoreConfig::default());
+/// core.retire_instructions(1_000);
+/// core.stall_read_ps(63_000); // one PCM read
+/// assert!(core.ipc() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimpleCore {
+    cfg: CoreConfig,
+    instructions: u64,
+    compute_cycles: f64,
+    stall_cycles: f64,
+}
+
+impl SimpleCore {
+    /// Creates a core with `cfg`.
+    pub fn new(cfg: CoreConfig) -> Self {
+        Self { cfg, instructions: 0, compute_cycles: 0.0, stall_cycles: 0.0 }
+    }
+
+    /// Retires `count` compute instructions.
+    pub fn retire_instructions(&mut self, count: u64) {
+        self.instructions += count;
+        self.compute_cycles += count as f64 / self.cfg.base_ipc;
+    }
+
+    /// Charges a blocking read of `latency_ps` picoseconds.
+    pub fn stall_read_ps(&mut self, latency_ps: u64) {
+        let cycles = latency_ps as f64 / 1000.0 * self.cfg.freq_ghz;
+        self.stall_cycles += cycles * (1.0 - self.cfg.read_overlap);
+    }
+
+    /// Charges a write-queue acceptance stall of `stall_ps` picoseconds.
+    pub fn stall_write_ps(&mut self, stall_ps: u64) {
+        self.stall_cycles += stall_ps as f64 / 1000.0 * self.cfg.freq_ghz;
+    }
+
+    /// Current simulated time in picoseconds (cycles / frequency).
+    pub fn now_ps(&self) -> u64 {
+        (self.cycles() / self.cfg.freq_ghz * 1000.0) as u64
+    }
+
+    /// Total cycles so far.
+    pub fn cycles(&self) -> f64 {
+        self.compute_cycles + self.stall_cycles
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles() == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_compute_hits_base_ipc() {
+        let mut c = SimpleCore::new(CoreConfig::default());
+        c.retire_instructions(1_000);
+        assert!((c.ipc() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_stalls_lower_ipc() {
+        let mut a = SimpleCore::new(CoreConfig::default());
+        let mut b = SimpleCore::new(CoreConfig::default());
+        a.retire_instructions(1_000);
+        b.retire_instructions(1_000);
+        b.stall_read_ps(1_000_000);
+        assert!(b.ipc() < a.ipc());
+    }
+
+    #[test]
+    fn write_stalls_charge_fully() {
+        let mut c = SimpleCore::new(CoreConfig { freq_ghz: 1.0, base_ipc: 1.0, read_overlap: 0.0 });
+        c.retire_instructions(10);
+        c.stall_write_ps(5_000); // 5 ns at 1 GHz = 5 cycles
+        assert!((c.cycles() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn now_advances_with_cycles() {
+        let mut c = SimpleCore::new(CoreConfig::default());
+        assert_eq!(c.now_ps(), 0);
+        c.retire_instructions(2_000); // 1000 cycles at 2 GHz = 500 ns
+        assert_eq!(c.now_ps(), 500_000);
+    }
+
+    #[test]
+    fn empty_core_reports_zero_ipc() {
+        let c = SimpleCore::new(CoreConfig::default());
+        assert_eq!(c.ipc(), 0.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The three-level CPU cache hierarchy.
+//!
+//! Filters the workload's reference stream down to the memory-side
+//! operations that reach the memory controller: fills on LLC misses and
+//! write-backs on dirty evictions or `clwb` persists. Persistent-memory
+//! workloads persist aggressively (every update is `clwb`+`sfence`d), so
+//! most writes flow through; the hierarchy still matters for read traffic
+//! and for the locality of the write-back stream.
+//!
+//! The model is inclusive-enough for trace purposes: each level is probed
+//! in order, lines are filled into every level on a miss, and `clwb`
+//! cleans the line in all levels while leaving it resident (matching
+//! `clwb` semantics, which the paper's workloads rely on).
+
+use crate::cache::SetAssocCache;
+use crate::events::MemEvent;
+
+/// An operation leaving the hierarchy toward the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSideOp {
+    /// Fetch a data line from memory (LLC read miss).
+    Fill {
+        /// Line index requested.
+        line: u64,
+    },
+    /// Write a dirty data line back to memory.
+    WriteBack {
+        /// Line index written back.
+        line: u64,
+        /// Content version carried by the dirty line.
+        version: u64,
+    },
+    /// A persist barrier reached the controller.
+    Barrier,
+}
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelConfig {
+    /// Capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl LevelConfig {
+    fn num_sets(&self) -> usize {
+        (self.capacity_bytes / 64 / self.ways).max(1)
+    }
+}
+
+/// Hierarchy configuration (paper Table I defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1: LevelConfig,
+    /// L2 cache.
+    pub l2: LevelConfig,
+    /// Shared L3 / LLC.
+    pub l3: LevelConfig,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            l1: LevelConfig { capacity_bytes: 64 << 10, ways: 2 },
+            l2: LevelConfig { capacity_bytes: 512 << 10, ways: 8 },
+            l3: LevelConfig { capacity_bytes: 4 << 20, ways: 8 },
+        }
+    }
+}
+
+/// Per-level hit statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Hits in L1.
+    pub l1_hits: u64,
+    /// Hits in L2.
+    pub l2_hits: u64,
+    /// Hits in L3.
+    pub l3_hits: u64,
+    /// Misses that went to memory.
+    pub llc_misses: u64,
+    /// Write-backs emitted (evictions + clwb flushes).
+    pub writebacks: u64,
+}
+
+/// The cache hierarchy. Payload is the content version of the line so the
+/// write-back stream carries distinguishable data.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: SetAssocCache<u64>,
+    l2: SetAssocCache<u64>,
+    l3: SetAssocCache<u64>,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy from `cfg`.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Self {
+            l1: SetAssocCache::new(cfg.l1.num_sets(), cfg.l1.ways),
+            l2: SetAssocCache::new(cfg.l2.num_sets(), cfg.l2.ways),
+            l3: SetAssocCache::new(cfg.l3.num_sets(), cfg.l3.ways),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Processes one trace event, appending memory-side ops to `out`.
+    ///
+    /// [`MemEvent::Work`] is timing-only and produces nothing here.
+    pub fn access(&mut self, event: MemEvent, out: &mut Vec<MemSideOp>) {
+        match event {
+            MemEvent::Read { line } => self.read(line, out),
+            MemEvent::Write { line, version } => self.write(line, version, out),
+            MemEvent::Clwb { line } => self.clwb(line, out),
+            MemEvent::Fence => out.push(MemSideOp::Barrier),
+            MemEvent::Work { .. } => {}
+        }
+    }
+
+    /// The cached content version of `line`, if resident anywhere.
+    pub fn peek_version(&self, line: u64) -> Option<u64> {
+        self.l1
+            .peek(line)
+            .or_else(|| self.l2.peek(line))
+            .or_else(|| self.l3.peek(line))
+            .copied()
+    }
+
+    /// Installs the decrypted value of a fill into the resident copies of
+    /// `line` — but only where the line is clean: a dirty copy means the
+    /// program already wrote newer content (write-allocate), which must
+    /// not be clobbered by the fill's older data.
+    pub fn set_version_clean(&mut self, line: u64, version: u64) {
+        for cache in [&mut self.l1, &mut self.l2, &mut self.l3] {
+            if cache.contains(line) && !cache.is_dirty(line) {
+                if let Some(v) = cache.get_mut(line) {
+                    *v = version;
+                }
+                cache.set_dirty(line, false);
+            }
+        }
+    }
+
+    fn read(&mut self, line: u64, out: &mut Vec<MemSideOp>) {
+        if self.l1.touch(line) {
+            self.stats.l1_hits += 1;
+            return;
+        }
+        if self.l2.touch(line) {
+            self.stats.l2_hits += 1;
+            self.fill_into_l1(line, out);
+            return;
+        }
+        if self.l3.touch(line) {
+            self.stats.l3_hits += 1;
+            self.fill_into_l1_l2(line, out);
+            return;
+        }
+        self.stats.llc_misses += 1;
+        out.push(MemSideOp::Fill { line });
+        self.fill_all(line, 0, false, out);
+    }
+
+    fn write(&mut self, line: u64, version: u64, out: &mut Vec<MemSideOp>) {
+        // Write-allocate: a miss fills the line first.
+        if !self.l1.contains(line) && !self.l2.contains(line) && !self.l3.contains(line) {
+            self.stats.llc_misses += 1;
+            out.push(MemSideOp::Fill { line });
+            self.fill_all(line, version, true, out);
+            return;
+        }
+        // Hit somewhere: update (and dirty) in every level where resident,
+        // pulling into L1.
+        if self.l1.contains(line) {
+            self.stats.l1_hits += 1;
+        } else if self.l2.contains(line) {
+            self.stats.l2_hits += 1;
+        } else {
+            self.stats.l3_hits += 1;
+        }
+        for cache in [&mut self.l1, &mut self.l2, &mut self.l3] {
+            if let Some(v) = cache.get_mut(line) {
+                *v = version;
+                cache.set_dirty(line, true);
+            }
+        }
+        if !self.l1.contains(line) {
+            let out_of = self.l1.insert(line, version, true);
+            Self::spill(out_of.evicted, &mut self.l2, &mut self.l3, &mut self.stats, out);
+        }
+    }
+
+    fn clwb(&mut self, line: u64, out: &mut Vec<MemSideOp>) {
+        let mut version = None;
+        for cache in [&mut self.l1, &mut self.l2, &mut self.l3] {
+            if cache.is_dirty(line) {
+                version = Some(*cache.peek(line).expect("dirty implies resident"));
+                cache.set_dirty(line, false);
+            }
+        }
+        if let Some(v) = version {
+            self.stats.writebacks += 1;
+            out.push(MemSideOp::WriteBack { line, version: v });
+        }
+    }
+
+    fn fill_into_l1(&mut self, line: u64, out: &mut Vec<MemSideOp>) {
+        let version = *self.l2.peek(line).expect("hit in l2");
+        let dirty = self.l2.is_dirty(line);
+        let res = self.l1.insert(line, version, dirty);
+        Self::spill(res.evicted, &mut self.l2, &mut self.l3, &mut self.stats, out);
+    }
+
+    fn fill_into_l1_l2(&mut self, line: u64, out: &mut Vec<MemSideOp>) {
+        let version = *self.l3.peek(line).expect("hit in l3");
+        let dirty = self.l3.is_dirty(line);
+        let res2 = self.l2.insert(line, version, dirty);
+        if let Some(ev) = res2.evicted {
+            Self::spill_to_l3(ev, &mut self.l3, &mut self.stats, out);
+        }
+        let res1 = self.l1.insert(line, version, dirty);
+        Self::spill(res1.evicted, &mut self.l2, &mut self.l3, &mut self.stats, out);
+    }
+
+    fn fill_all(&mut self, line: u64, version: u64, dirty: bool, out: &mut Vec<MemSideOp>) {
+        if let Some(ev) = self.l3.insert(line, version, dirty).evicted {
+            // Inclusive-ish: L3 eviction drops the line from inner levels;
+            // the dirtiest copy wins.
+            let inner_dirty = self.l1.remove(ev.addr);
+            let inner_dirty2 = self.l2.remove(ev.addr);
+            let (v, d) = [inner_dirty, inner_dirty2]
+                .into_iter()
+                .flatten()
+                .find(|&(_, d)| d)
+                .unwrap_or((ev.value, ev.dirty));
+            if d {
+                self.stats.writebacks += 1;
+                out.push(MemSideOp::WriteBack { line: ev.addr, version: v });
+            }
+        }
+        if let Some(ev) = self.l2.insert(line, version, dirty).evicted {
+            Self::spill_to_l3(ev, &mut self.l3, &mut self.stats, out);
+        }
+        let res = self.l1.insert(line, version, dirty);
+        Self::spill(res.evicted, &mut self.l2, &mut self.l3, &mut self.stats, out);
+    }
+
+    /// Handles an L1 victim: falls to L2 (then L3, then memory).
+    fn spill(
+        evicted: Option<crate::cache::Evicted<u64>>,
+        l2: &mut SetAssocCache<u64>,
+        l3: &mut SetAssocCache<u64>,
+        stats: &mut HierarchyStats,
+        out: &mut Vec<MemSideOp>,
+    ) {
+        let Some(ev) = evicted else { return };
+        if !ev.dirty {
+            return;
+        }
+        if l2.contains(ev.addr) {
+            *l2.get_mut(ev.addr).expect("contains") = ev.value;
+            l2.set_dirty(ev.addr, true);
+            return;
+        }
+        let res = l2.insert(ev.addr, ev.value, true);
+        if let Some(ev2) = res.evicted {
+            Self::spill_to_l3(ev2, l3, stats, out);
+        }
+    }
+
+    /// Handles an L2 victim: falls to L3, then memory.
+    fn spill_to_l3(
+        ev: crate::cache::Evicted<u64>,
+        l3: &mut SetAssocCache<u64>,
+        stats: &mut HierarchyStats,
+        out: &mut Vec<MemSideOp>,
+    ) {
+        if !ev.dirty {
+            return;
+        }
+        if l3.contains(ev.addr) {
+            *l3.get_mut(ev.addr).expect("contains") = ev.value;
+            l3.set_dirty(ev.addr, true);
+            return;
+        }
+        let res = l3.insert(ev.addr, ev.value, true);
+        if let Some(ev3) = res.evicted {
+            if ev3.dirty {
+                stats.writebacks += 1;
+                out.push(MemSideOp::WriteBack { line: ev3.addr, version: ev3.value });
+            }
+        }
+    }
+}
+
+impl Default for CacheHierarchy {
+    fn default() -> Self {
+        Self::new(HierarchyConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig {
+            l1: LevelConfig { capacity_bytes: 2 * 64, ways: 1 },
+            l2: LevelConfig { capacity_bytes: 4 * 64, ways: 2 },
+            l3: LevelConfig { capacity_bytes: 8 * 64, ways: 2 },
+        })
+    }
+
+    #[test]
+    fn read_miss_generates_fill() {
+        let mut h = tiny();
+        let mut ops = Vec::new();
+        h.access(MemEvent::Read { line: 1 }, &mut ops);
+        assert_eq!(ops, vec![MemSideOp::Fill { line: 1 }]);
+        ops.clear();
+        h.access(MemEvent::Read { line: 1 }, &mut ops);
+        assert!(ops.is_empty(), "second read hits");
+        assert_eq!(h.stats().l1_hits, 1);
+        assert_eq!(h.stats().llc_misses, 1);
+    }
+
+    #[test]
+    fn clwb_writes_back_dirty_line_once() {
+        let mut h = tiny();
+        let mut ops = Vec::new();
+        h.access(MemEvent::Write { line: 5, version: 9 }, &mut ops);
+        ops.clear();
+        h.access(MemEvent::Clwb { line: 5 }, &mut ops);
+        assert_eq!(ops, vec![MemSideOp::WriteBack { line: 5, version: 9 }]);
+        ops.clear();
+        h.access(MemEvent::Clwb { line: 5 }, &mut ops);
+        assert!(ops.is_empty(), "clean line persists nothing");
+        // Line must still be resident (clwb keeps it cached).
+        ops.clear();
+        h.access(MemEvent::Read { line: 5 }, &mut ops);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn capacity_eviction_writes_back_dirty() {
+        let mut h = tiny();
+        let mut ops = Vec::new();
+        // Dirty many distinct lines mapping over all levels until the LLC
+        // overflows.
+        for i in 0..64 {
+            h.access(MemEvent::Write { line: i, version: i }, &mut ops);
+        }
+        assert!(
+            ops.iter().any(|o| matches!(o, MemSideOp::WriteBack { .. })),
+            "LLC overflow must write back dirty lines"
+        );
+    }
+
+    #[test]
+    fn fence_reaches_controller() {
+        let mut h = tiny();
+        let mut ops = Vec::new();
+        h.access(MemEvent::Fence, &mut ops);
+        assert_eq!(ops, vec![MemSideOp::Barrier]);
+    }
+
+    #[test]
+    fn work_is_silent() {
+        let mut h = tiny();
+        let mut ops = Vec::new();
+        h.access(MemEvent::Work { count: 100 }, &mut ops);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn write_miss_fills_then_dirties() {
+        let mut h = tiny();
+        let mut ops = Vec::new();
+        h.access(MemEvent::Write { line: 3, version: 1 }, &mut ops);
+        assert_eq!(ops, vec![MemSideOp::Fill { line: 3 }]);
+        ops.clear();
+        h.access(MemEvent::Clwb { line: 3 }, &mut ops);
+        assert_eq!(ops.len(), 1, "dirty after write-allocate");
+    }
+
+    #[test]
+    fn default_geometry_matches_table1() {
+        let h = CacheHierarchy::default();
+        assert_eq!(h.l1.capacity_lines(), (64 << 10) / 64);
+        assert_eq!(h.l2.capacity_lines(), (512 << 10) / 64);
+        assert_eq!(h.l3.capacity_lines(), (4 << 20) / 64);
+    }
+}

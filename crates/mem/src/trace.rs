@@ -1,0 +1,226 @@
+//! Trace recording, replay and analysis.
+//!
+//! Workload traces can be serialized to a compact line-oriented text
+//! format, replayed into any [`TraceSink`], and summarized with
+//! [`TraceStats`] (the locality metrics that drive STAR's bitmap
+//! behaviour). This is the equivalent of the trace tooling around
+//! Gem5-based setups: capture once, replay against every scheme.
+//!
+//! Format, one event per line:
+//!
+//! ```text
+//! R <line>            # load
+//! W <line> <version>  # store
+//! P <line>            # clwb
+//! F                   # sfence
+//! C <count>           # compute instructions
+//! ```
+
+use crate::events::{MemEvent, TraceSink};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes events to the text format.
+///
+/// ```
+/// use star_mem::trace::to_text;
+/// use star_mem::MemEvent;
+/// let text = to_text(&[MemEvent::Write { line: 3, version: 9 }, MemEvent::Fence]);
+/// assert_eq!(text, "W 3 9\nF\n");
+/// ```
+pub fn to_text(events: &[MemEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 8);
+    for e in events {
+        match e {
+            MemEvent::Read { line } => {
+                let _ = writeln!(out, "R {line}");
+            }
+            MemEvent::Write { line, version } => {
+                let _ = writeln!(out, "W {line} {version}");
+            }
+            MemEvent::Clwb { line } => {
+                let _ = writeln!(out, "P {line}");
+            }
+            MemEvent::Fence => out.push_str("F\n"),
+            MemEvent::Work { count } => {
+                let _ = writeln!(out, "C {count}");
+            }
+        }
+    }
+    out
+}
+
+/// A parse failure: the offending line number (1-based) and its content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line_no: usize,
+    /// The unparsable line.
+    pub content: String,
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "bad trace line {}: {:?}", self.line_no, self.content)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses the text format back into events.
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn from_text(text: &str) -> Result<Vec<MemEvent>, ParseTraceError> {
+    let mut events = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = || ParseTraceError { line_no: i + 1, content: raw.to_string() };
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().ok_or_else(err)?;
+        let mut num = || -> Result<u64, ParseTraceError> {
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(err)
+        };
+        let event = match tag {
+            "R" => MemEvent::Read { line: num()? },
+            "W" => MemEvent::Write { line: num()?, version: num()? },
+            "P" => MemEvent::Clwb { line: num()? },
+            "F" => MemEvent::Fence,
+            "C" => MemEvent::Work { count: num()? },
+            _ => return Err(err()),
+        };
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Replays `events` into `sink`.
+pub fn replay(events: &[MemEvent], sink: &mut dyn TraceSink) {
+    sink.on_events(events);
+}
+
+/// Locality and volume statistics of a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Loads.
+    pub reads: u64,
+    /// Stores.
+    pub writes: u64,
+    /// `clwb`s.
+    pub persists: u64,
+    /// `sfence`s.
+    pub fences: u64,
+    /// Compute instructions.
+    pub instructions: u64,
+    /// Distinct lines touched.
+    pub unique_lines: usize,
+    /// Distinct 32 KB regions *written* — each is one L1 bitmap line in
+    /// STAR, so this is the trace's bitmap working set.
+    pub write_regions_32k: usize,
+    /// Mean stores per written line (temporal write locality).
+    pub mean_writes_per_line: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over `events`.
+    pub fn compute(events: &[MemEvent]) -> Self {
+        let mut stats = TraceStats::default();
+        let mut lines: HashMap<u64, u64> = HashMap::new();
+        let mut regions: HashMap<u64, ()> = HashMap::new();
+        let mut touched: HashMap<u64, ()> = HashMap::new();
+        for e in events {
+            match e {
+                MemEvent::Read { line } => {
+                    stats.reads += 1;
+                    touched.insert(*line, ());
+                }
+                MemEvent::Write { line, .. } => {
+                    stats.writes += 1;
+                    touched.insert(*line, ());
+                    *lines.entry(*line).or_default() += 1;
+                    // 512 metadata lines per bitmap line, 8 data lines per
+                    // counter block → 4096 data lines per 32 KB region.
+                    regions.insert(line / 4_096, ());
+                }
+                MemEvent::Clwb { .. } => stats.persists += 1,
+                MemEvent::Fence => stats.fences += 1,
+                MemEvent::Work { count } => stats.instructions += *count,
+            }
+        }
+        stats.unique_lines = touched.len();
+        stats.write_regions_32k = regions.len();
+        stats.mean_writes_per_line = if lines.is_empty() {
+            0.0
+        } else {
+            stats.writes as f64 / lines.len() as f64
+        };
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<MemEvent> {
+        vec![
+            MemEvent::Work { count: 10 },
+            MemEvent::Read { line: 5 },
+            MemEvent::Write { line: 5, version: 1 },
+            MemEvent::Clwb { line: 5 },
+            MemEvent::Fence,
+            MemEvent::Write { line: 9_000, version: 2 },
+        ]
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let events = sample();
+        let text = to_text(&events);
+        assert_eq!(from_text(&text).expect("parses"), events);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let parsed = from_text("# header\n\nW 1 2\n  F  \n").expect("parses");
+        assert_eq!(parsed, vec![MemEvent::Write { line: 1, version: 2 }, MemEvent::Fence]);
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_position() {
+        let err = from_text("W 1 2\nX nope\n").expect_err("must fail");
+        assert_eq!(err.line_no, 2);
+        assert!(err.to_string().contains("X nope"));
+    }
+
+    #[test]
+    fn missing_operand_fails() {
+        assert!(from_text("W 1\n").is_err());
+        assert!(from_text("R\n").is_err());
+    }
+
+    #[test]
+    fn stats_count_correctly() {
+        let stats = TraceStats::compute(&sample());
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.persists, 1);
+        assert_eq!(stats.fences, 1);
+        assert_eq!(stats.instructions, 10);
+        assert_eq!(stats.unique_lines, 2);
+        assert_eq!(stats.write_regions_32k, 2, "lines 5 and 9000 are in different regions");
+        assert!((stats.mean_writes_per_line - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_feeds_a_sink() {
+        let events = sample();
+        let mut sink = crate::events::VecSink::new();
+        replay(&events, &mut sink);
+        assert_eq!(sink.events, events);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests: the set-associative cache against a straightforward
+//! reference model, and hierarchy coherence against a shadow memory.
+
+use proptest::prelude::*;
+use star_mem::{CacheHierarchy, HierarchyConfig, MemEvent, MemSideOp, SetAssocCache};
+use std::collections::HashMap;
+
+/// A deliberately naive LRU reference: per set, a Vec ordered LRU→MRU.
+#[derive(Debug, Default, Clone)]
+struct RefCache {
+    sets: HashMap<u64, Vec<(u64, bool, u32)>>,
+    num_sets: u64,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(num_sets: u64, ways: usize) -> Self {
+        Self { sets: HashMap::new(), num_sets, ways }
+    }
+
+    fn set(&mut self, addr: u64) -> &mut Vec<(u64, bool, u32)> {
+        self.sets.entry(addr % self.num_sets).or_default()
+    }
+
+    fn get(&mut self, addr: u64) -> Option<u32> {
+        let set = self.set(addr);
+        let pos = set.iter().position(|e| e.0 == addr)?;
+        let e = set.remove(pos);
+        set.push(e);
+        Some(set.last().unwrap().2)
+    }
+
+    fn insert(&mut self, addr: u64, value: u32, dirty: bool) -> Option<(u64, bool, u32)> {
+        let ways = self.ways;
+        let set = self.set(addr);
+        if let Some(pos) = set.iter().position(|e| e.0 == addr) {
+            set.remove(pos);
+            set.push((addr, dirty, value));
+            return None;
+        }
+        let victim = if set.len() >= ways { Some(set.remove(0)) } else { None };
+        set.push((addr, dirty, value));
+        victim
+    }
+
+    fn set_dirty(&mut self, addr: u64, dirty: bool) -> Option<bool> {
+        let set = self.set(addr);
+        let e = set.iter_mut().find(|e| e.0 == addr)?;
+        let was = e.1;
+        e.1 = dirty;
+        Some(was)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u64),
+    Insert(u64, u32, bool),
+    SetDirty(u64, bool),
+    Remove(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64).prop_map(Op::Get),
+        (0u64..64, any::<u32>(), any::<bool>()).prop_map(|(a, v, d)| Op::Insert(a, v, d)),
+        (0u64..64, any::<bool>()).prop_map(|(a, d)| Op::SetDirty(a, d)),
+        (0u64..64).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    /// The production cache agrees with the reference on every
+    /// observable: hits, values, dirty bits and evicted victims.
+    #[test]
+    fn cache_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut cache: SetAssocCache<u32> = SetAssocCache::new(4, 3);
+        let mut reference = RefCache::new(4, 3);
+        for op in &ops {
+            match op {
+                Op::Get(a) => {
+                    prop_assert_eq!(cache.get_mut(*a).map(|v| *v), reference.get(*a));
+                }
+                Op::Insert(a, v, d) => {
+                    let got = cache.insert(*a, *v, *d);
+                    let want = reference.insert(*a, *v, *d);
+                    match (got.evicted, want) {
+                        (None, None) => {}
+                        (Some(e), Some((wa, wd, wv))) => {
+                            prop_assert_eq!(e.addr, wa);
+                            prop_assert_eq!(e.dirty, wd);
+                            prop_assert_eq!(e.value, wv);
+                        }
+                        other => prop_assert!(false, "eviction mismatch: {:?}", other),
+                    }
+                }
+                Op::SetDirty(a, d) => {
+                    prop_assert_eq!(cache.set_dirty(*a, *d), reference.set_dirty(*a, *d));
+                }
+                Op::Remove(a) => {
+                    let got = cache.remove(*a);
+                    let set = reference.set(*a);
+                    let want = set.iter().position(|e| e.0 == *a).map(|p| set.remove(p));
+                    prop_assert_eq!(got.map(|(v, d)| (d, v)), want.map(|(_, d, v)| (d, v)));
+                }
+            }
+        }
+        // Final state agrees too.
+        prop_assert_eq!(cache.len(), reference.sets.values().map(Vec::len).sum::<usize>());
+        prop_assert_eq!(
+            cache.dirty_count(),
+            reference.sets.values().flatten().filter(|e| e.1).count()
+        );
+    }
+
+    /// The hierarchy is coherent: after any event sequence, reading a
+    /// line through the hierarchy state returns the program's last write.
+    #[test]
+    fn hierarchy_tracks_latest_versions(
+        events in proptest::collection::vec(
+            prop_oneof![
+                (0u64..128).prop_map(|l| MemEvent::Read { line: l }),
+                (0u64..128, 1u64..1000).prop_map(|(l, v)| MemEvent::Write { line: l, version: v }),
+                (0u64..128).prop_map(|l| MemEvent::Clwb { line: l }),
+            ],
+            1..300,
+        )
+    ) {
+        let mut h = CacheHierarchy::new(HierarchyConfig {
+            l1: star_mem::hierarchy::LevelConfig { capacity_bytes: 4 * 64, ways: 2 },
+            l2: star_mem::hierarchy::LevelConfig { capacity_bytes: 8 * 64, ways: 2 },
+            l3: star_mem::hierarchy::LevelConfig { capacity_bytes: 16 * 64, ways: 4 },
+        });
+        let mut memory: HashMap<u64, u64> = HashMap::new(); // NVM-side shadow
+        let mut latest: HashMap<u64, u64> = HashMap::new(); // program-visible
+        let mut ops = Vec::new();
+        let mut version_counter = 0u64;
+        for e in &events {
+            // Real programs stamp stores with monotonically increasing
+            // versions (see star-workloads' Pmem); rewrite the generated
+            // version accordingly.
+            let e = match *e {
+                MemEvent::Write { line, .. } => {
+                    version_counter += 1;
+                    latest.insert(line, version_counter);
+                    MemEvent::Write { line, version: version_counter }
+                }
+                other => other,
+            };
+            ops.clear();
+            h.access(e, &mut ops);
+            for op in &ops {
+                match op {
+                    MemSideOp::WriteBack { line, version } => {
+                        // Write-backs must never go backwards.
+                        let prev = memory.get(line).copied().unwrap_or(0);
+                        prop_assert!(*version >= prev, "write-back regressed line {}", line);
+                        memory.insert(*line, *version);
+                    }
+                    MemSideOp::Fill { line } => {
+                        let v = memory.get(line).copied().unwrap_or(0);
+                        h.set_version_clean(*line, v);
+                    }
+                    MemSideOp::Barrier => {}
+                }
+            }
+        }
+        // Every cached line agrees with the program's last write.
+        for (&line, &want) in &latest {
+            if let Some(got) = h.peek_version(line) {
+                prop_assert_eq!(got, want, "line {}", line);
+            } else {
+                // Evicted: memory must hold the latest (it was dirty) or
+                // the line was clean and memory may lag only if never
+                // written back — but then it was never evicted dirty.
+                let got = memory.get(&line).copied().unwrap_or(0);
+                prop_assert_eq!(got, want, "evicted line {}", line);
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! A Bonsai Merkle tree (BMT) over counter blocks.
+//!
+//! Kept for the paper's §II comparison: a BMT node is a *hash* of its
+//! children, so the whole tree can be reconstructed bottom-up from the
+//! leaves — which is how Triad-NVM recovers. The SIT cannot be rebuilt
+//! that way (child MACs need parent counters), and contrasting the two is
+//! part of the reproduction's test suite.
+//!
+//! This is an in-memory model over an arbitrary number of 64-byte leaves,
+//! with incremental updates and root extraction.
+
+use star_crypto::sha256::Sha256;
+
+/// Arity of the BMT (8, matching the SIT for comparability).
+pub const BMT_ARITY: usize = 8;
+
+/// A 32-byte BMT hash.
+pub type BmtHash = [u8; 32];
+
+/// An 8-ary Merkle tree over fixed-size leaf blobs.
+///
+/// ```
+/// use star_metadata::bmt::BonsaiMerkleTree;
+/// let mut t = BonsaiMerkleTree::new(10);
+/// let before = t.root();
+/// t.update_leaf(3, b"counter block contents");
+/// assert_ne!(t.root(), before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BonsaiMerkleTree {
+    /// `levels[0]` are the leaf hashes; `levels.last()` has length 1.
+    levels: Vec<Vec<BmtHash>>,
+}
+
+fn hash_leaf(data: &[u8]) -> BmtHash {
+    let mut h = Sha256::new();
+    h.update(b"leaf");
+    h.update(data);
+    h.finalize()
+}
+
+fn hash_children(children: &[BmtHash]) -> BmtHash {
+    let mut h = Sha256::new();
+    h.update(b"node");
+    for c in children {
+        h.update(c);
+    }
+    h.finalize()
+}
+
+impl BonsaiMerkleTree {
+    /// Creates a tree over `leaves` all-zero leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is zero.
+    pub fn new(leaves: usize) -> Self {
+        assert!(leaves > 0, "tree needs at least one leaf");
+        let mut levels = vec![vec![hash_leaf(&[]); leaves]];
+        while levels.last().expect("nonempty").len() > 1 {
+            let below = levels.last().expect("nonempty");
+            let level: Vec<BmtHash> =
+                below.chunks(BMT_ARITY).map(hash_children).collect();
+            levels.push(level);
+        }
+        Self { levels }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Number of levels, leaves included.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The root hash.
+    pub fn root(&self) -> BmtHash {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Replaces leaf `index` and rehashes its branch (O(height)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update_leaf(&mut self, index: usize, data: &[u8]) {
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        self.levels[0][index] = hash_leaf(data);
+        let mut child = index;
+        for lvl in 1..self.levels.len() {
+            let parent = child / BMT_ARITY;
+            let start = parent * BMT_ARITY;
+            let end = (start + BMT_ARITY).min(self.levels[lvl - 1].len());
+            let digest = hash_children(&self.levels[lvl - 1][start..end]);
+            self.levels[lvl][parent] = digest;
+            child = parent;
+        }
+    }
+
+    /// Rebuilds the tree bottom-up from leaf contents, as Triad-NVM does
+    /// on recovery, and returns its root for comparison against the
+    /// on-chip copy.
+    pub fn reconstruct<'a, I>(leaves: I) -> Self
+    where
+        I: ExactSizeIterator<Item = &'a [u8]>,
+    {
+        let count = leaves.len();
+        let mut tree = Self::new(count.max(1));
+        for (i, leaf) in leaves.enumerate() {
+            tree.levels[0][i] = hash_leaf(leaf);
+        }
+        // Rehash every interior level in bulk.
+        for lvl in 1..tree.levels.len() {
+            let (below, above) = tree.levels.split_at_mut(lvl);
+            let below = &below[lvl - 1];
+            for (p, slot) in above[0].iter_mut().enumerate() {
+                let start = p * BMT_ARITY;
+                let end = (start + BMT_ARITY).min(below.len());
+                *slot = hash_children(&below[start..end]);
+            }
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut t = BonsaiMerkleTree::new(1);
+        assert_eq!(t.height(), 1);
+        let r0 = t.root();
+        t.update_leaf(0, b"x");
+        assert_ne!(t.root(), r0);
+    }
+
+    #[test]
+    fn incremental_matches_reconstruction() {
+        let mut t = BonsaiMerkleTree::new(20);
+        let blobs: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 64]).collect();
+        for (i, b) in blobs.iter().enumerate() {
+            t.update_leaf(i, b);
+        }
+        let rebuilt = BonsaiMerkleTree::reconstruct(blobs.iter().map(|b| b.as_slice()));
+        assert_eq!(t.root(), rebuilt.root(), "Triad-NVM-style rebuild must agree");
+    }
+
+    #[test]
+    fn any_leaf_change_changes_root() {
+        let mut t = BonsaiMerkleTree::new(64);
+        let base = t.root();
+        for i in [0, 7, 8, 63] {
+            let mut t2 = t.clone();
+            t2.update_leaf(i, b"tampered");
+            assert_ne!(t2.root(), base, "leaf {i}");
+        }
+        t.update_leaf(0, b"tampered");
+        assert_ne!(t.root(), base);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        assert_eq!(BonsaiMerkleTree::new(8).height(), 2);
+        assert_eq!(BonsaiMerkleTree::new(9).height(), 3);
+        assert_eq!(BonsaiMerkleTree::new(64).height(), 3);
+        assert_eq!(BonsaiMerkleTree::new(65).height(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_update_panics() {
+        BonsaiMerkleTree::new(4).update_leaf(4, b"");
+    }
+}

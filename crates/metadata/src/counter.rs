@@ -1,0 +1,258 @@
+//! The classic split-counter block of counter-mode encryption
+//! (paper §II-B).
+//!
+//! Outside SIT mode, a CME counter block packs one 64-bit **major**
+//! counter and 64 7-bit **minor** counters into a single 64-byte line,
+//! covering a 4 KB page (64 data lines). A line's encryption counter is
+//! the pair `(major, minor)`. When a minor counter saturates, the major
+//! increments, *all* minors reset, and every line in the page must be
+//! re-encrypted — the rare, expensive event split counters trade against
+//! their 8× better space efficiency.
+//!
+//! The SIT-mode counter block the rest of this workspace uses
+//! ([`crate::Node64`]: 8 × 56-bit counters) is the paper's operating
+//! point; this module completes the background design space and is
+//! exercised by the encryption round-trip tests.
+
+use star_nvm::Line;
+
+/// Number of minor counters (data lines per page).
+pub const MINOR_COUNT: usize = 64;
+
+/// Maximum value of a 7-bit minor counter.
+pub const MINOR_MAX: u8 = 0x7f;
+
+/// Outcome of bumping a minor counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bump {
+    /// The minor counter incremented; encrypt with the returned counter.
+    Minor {
+        /// The combined `(major, minor)` encryption counter.
+        counter: u64,
+    },
+    /// The minor overflowed: the major was incremented, every minor was
+    /// reset, and **all 64 lines of the page must be re-encrypted** with
+    /// their new counters.
+    PageOverflow {
+        /// The new major counter.
+        major: u64,
+    },
+}
+
+/// A split-counter block: 64-bit major ∥ 64 × 7-bit minors, exactly one
+/// 64-byte line.
+///
+/// ```
+/// use star_metadata::counter::{Bump, SplitCounterBlock};
+/// let mut cb = SplitCounterBlock::new();
+/// match cb.bump(3) {
+///     Bump::Minor { counter } => assert_eq!(counter, 1),
+///     Bump::PageOverflow { .. } => unreachable!("first bump cannot overflow"),
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitCounterBlock {
+    major: u64,
+    minors: [u8; MINOR_COUNT],
+}
+
+impl Default for SplitCounterBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SplitCounterBlock {
+    /// A zeroed block (freshly shredded page).
+    pub fn new() -> Self {
+        Self { major: 0, minors: [0; MINOR_COUNT] }
+    }
+
+    /// The major counter.
+    pub fn major(&self) -> u64 {
+        self.major
+    }
+
+    /// The minor counter for line `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 64`.
+    pub fn minor(&self, slot: usize) -> u8 {
+        self.minors[slot]
+    }
+
+    /// The combined encryption counter for line `slot`: `major ∥ minor`,
+    /// which never repeats for a line across the device lifetime.
+    pub fn counter(&self, slot: usize) -> u64 {
+        (self.major << 7) | u64::from(self.minors[slot])
+    }
+
+    /// Bumps the minor counter of `slot` for a write to that line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 64`.
+    pub fn bump(&mut self, slot: usize) -> Bump {
+        if self.minors[slot] == MINOR_MAX {
+            // The 64-bit major "never overflows throughout the lifespan
+            // of an NVM" (paper §II-B) — 2^64 ≫ cell endurance.
+            self.major += 1;
+            self.minors = [0; MINOR_COUNT];
+            Bump::PageOverflow { major: self.major }
+        } else {
+            self.minors[slot] += 1;
+            Bump::Minor { counter: self.counter(slot) }
+        }
+    }
+
+    /// Serializes to a 64-byte line: major (8 bytes LE) then the 64
+    /// minors bit-packed 7 bits each (56 bytes).
+    pub fn to_line(&self) -> Line {
+        let mut bytes = [0u8; 64];
+        bytes[..8].copy_from_slice(&self.major.to_le_bytes());
+        // Bit-pack the minors into bytes 8..64.
+        let mut bit = 0usize;
+        for &m in &self.minors {
+            let byte = 8 + bit / 8;
+            let off = bit % 8;
+            bytes[byte] |= m << off;
+            if off > 1 {
+                bytes[byte + 1] |= m >> (8 - off);
+            }
+            bit += 7;
+        }
+        Line::from(bytes)
+    }
+
+    /// Deserializes from a 64-byte line.
+    pub fn from_line(line: &Line) -> Self {
+        let bytes = line.as_bytes();
+        let major = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let mut minors = [0u8; MINOR_COUNT];
+        let mut bit = 0usize;
+        for m in minors.iter_mut() {
+            let byte = 8 + bit / 8;
+            let off = bit % 8;
+            let mut v = u16::from(bytes[byte]) >> off;
+            if off > 1 {
+                v |= u16::from(bytes[byte + 1]) << (8 - off);
+            }
+            *m = (v as u8) & MINOR_MAX;
+            bit += 7;
+        }
+        Self { major, minors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use star_crypto::{one_time_pad, Aes128};
+
+    #[test]
+    fn counters_start_at_zero_and_increment() {
+        let mut cb = SplitCounterBlock::new();
+        assert_eq!(cb.counter(5), 0);
+        assert_eq!(cb.bump(5), Bump::Minor { counter: 1 });
+        assert_eq!(cb.bump(5), Bump::Minor { counter: 2 });
+        assert_eq!(cb.counter(6), 0, "other slots unaffected");
+    }
+
+    #[test]
+    fn overflow_resets_the_page() {
+        let mut cb = SplitCounterBlock::new();
+        for _ in 0..127 {
+            cb.bump(0);
+        }
+        assert_eq!(cb.minor(0), MINOR_MAX);
+        cb.bump(1); // another line gets some history too
+        assert_eq!(cb.bump(0), Bump::PageOverflow { major: 1 });
+        assert_eq!(cb.minor(0), 0);
+        assert_eq!(cb.minor(1), 0, "all minors reset on overflow");
+        // Counters after the overflow are strictly larger than before.
+        assert_eq!(cb.counter(0), 1 << 7);
+        assert!(cb.counter(1) > 1);
+    }
+
+    #[test]
+    fn counters_never_repeat_across_overflow() {
+        // Collect every counter value line 0 encrypts with over two
+        // overflow periods — all must be distinct (OTP uniqueness).
+        let mut cb = SplitCounterBlock::new();
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(cb.counter(0)));
+        for _ in 0..300 {
+            cb.bump(0);
+            assert!(seen.insert(cb.counter(0)), "counter repeated: {}", cb.counter(0));
+        }
+    }
+
+    #[test]
+    fn overflow_changes_every_lines_pad() {
+        // The re-encryption requirement: after an overflow, every line's
+        // OTP differs even for untouched lines.
+        let aes = Aes128::from_seed(4);
+        let mut cb = SplitCounterBlock::new();
+        let before: Vec<[u8; 64]> =
+            (0..4).map(|l| one_time_pad(&aes, l, cb.counter(l as usize))).collect();
+        for _ in 0..128 {
+            cb.bump(0); // drive slot 0 to overflow
+        }
+        for (l, old) in before.iter().enumerate() {
+            let new = one_time_pad(&aes, l as u64, cb.counter(l));
+            assert_ne!(&new, old, "line {l} must be re-encrypted");
+        }
+    }
+
+    #[test]
+    fn pack_is_exactly_64_bytes_dense() {
+        let mut cb = SplitCounterBlock::new();
+        for s in 0..MINOR_COUNT {
+            for _ in 0..(s % 5) {
+                cb.bump(s);
+            }
+        }
+        let line = cb.to_line();
+        assert_eq!(SplitCounterBlock::from_line(&line), cb);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(major in any::<u64>(), minors in proptest::array::uniform32(0u8..=MINOR_MAX)) {
+            let mut cb = SplitCounterBlock::new();
+            cb.major = major;
+            // Spread the 32 sampled values over all 64 slots.
+            for (i, &m) in minors.iter().enumerate() {
+                cb.minors[i * 2] = m;
+                cb.minors[i * 2 + 1] = m ^ 0x55 & MINOR_MAX;
+            }
+            for m in &mut cb.minors {
+                *m &= MINOR_MAX;
+            }
+            prop_assert_eq!(SplitCounterBlock::from_line(&cb.to_line()), cb);
+        }
+
+        #[test]
+        fn bump_sequence_matches_model(ops in proptest::collection::vec(0usize..64, 0..400)) {
+            // Reference model: per-slot u32 counts + overflow epochs.
+            let mut cb = SplitCounterBlock::new();
+            let mut model_major = 0u64;
+            let mut model_minors = [0u8; 64];
+            for &slot in &ops {
+                if model_minors[slot] == MINOR_MAX {
+                    model_major += 1;
+                    model_minors = [0; 64];
+                } else {
+                    model_minors[slot] += 1;
+                }
+                cb.bump(slot);
+            }
+            prop_assert_eq!(cb.major(), model_major);
+            for (s, &want) in model_minors.iter().enumerate() {
+                prop_assert_eq!(cb.minor(s), want, "slot {}", s);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! User-data lines with Synergy-style co-located MACs.
+//!
+//! Following Synergy (and the paper's §II-D), the MAC of a user-data line
+//! lives with the data in the same burst (in real hardware, the 9th chip
+//! that otherwise stores ECC), so data + MAC persist atomically in one
+//! memory write. The model folds the 8-byte MAC field into the 64-byte
+//! line, leaving 56 bytes of payload — the payload in this simulation is a
+//! content *version*, so no information is lost by the narrowing.
+
+use crate::node::MacField;
+use star_nvm::Line;
+
+/// A user-data line: 56 bytes of (encrypted) payload plus the 8-byte MAC
+/// field whose 10 spare bits STAR reuses for the parent-counter LSBs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataLine {
+    payload: [u8; 56],
+    mac_field: MacField,
+}
+
+impl Default for DataLine {
+    fn default() -> Self {
+        Self { payload: [0; 56], mac_field: MacField::default() }
+    }
+}
+
+impl DataLine {
+    /// Creates a line with the given payload and a zero MAC field.
+    pub fn new(payload: [u8; 56]) -> Self {
+        Self { payload, mac_field: MacField::default() }
+    }
+
+    /// Builds a payload carrying a content version (simulation shorthand
+    /// for "the bytes the program stored").
+    pub fn from_version(version: u64) -> Self {
+        let mut payload = [0u8; 56];
+        payload[..8].copy_from_slice(&version.to_le_bytes());
+        // Spread the version so single-byte tampering anywhere is visible.
+        for (i, byte) in payload.iter_mut().enumerate().skip(8) {
+            *byte = (version.rotate_left((i % 64) as u32) as u8) ^ i as u8;
+        }
+        Self::new(payload)
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8; 56] {
+        &self.payload
+    }
+
+    /// Mutable payload bytes (encryption XORs in place).
+    pub fn payload_mut(&mut self) -> &mut [u8; 56] {
+        &mut self.payload
+    }
+
+    /// The MAC field.
+    pub fn mac_field(&self) -> MacField {
+        self.mac_field
+    }
+
+    /// Replaces the MAC field.
+    pub fn set_mac_field(&mut self, field: MacField) {
+        self.mac_field = field;
+    }
+
+    /// Serializes to one 64-byte line (payload then MAC field).
+    pub fn to_line(&self) -> Line {
+        let mut bytes = [0u8; 64];
+        bytes[..56].copy_from_slice(&self.payload);
+        bytes[56..].copy_from_slice(&self.mac_field.bits().to_le_bytes());
+        Line::from(bytes)
+    }
+
+    /// Deserializes from one 64-byte line.
+    pub fn from_line(line: &Line) -> Self {
+        let bytes = line.as_bytes();
+        let mut payload = [0u8; 56];
+        payload.copy_from_slice(&bytes[..56]);
+        Self {
+            payload,
+            mac_field: MacField::from_bits(u64::from_le_bytes(
+                bytes[56..].try_into().expect("8 bytes"),
+            )),
+        }
+    }
+}
+
+impl From<DataLine> for Line {
+    fn from(d: DataLine) -> Line {
+        d.to_line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_crypto::mac::Mac54;
+
+    #[test]
+    fn roundtrip() {
+        let mut d = DataLine::from_version(77);
+        d.set_mac_field(MacField::new(Mac54::from_u64(123), 45));
+        assert_eq!(DataLine::from_line(&d.to_line()), d);
+    }
+
+    #[test]
+    fn versions_produce_distinct_payloads() {
+        assert_ne!(DataLine::from_version(1).payload(), DataLine::from_version(2).payload());
+    }
+
+    #[test]
+    fn mac_field_is_separate_from_payload() {
+        let mut d = DataLine::from_version(5);
+        let payload_before = *d.payload();
+        d.set_mac_field(MacField::new(Mac54::from_u64(99), 1));
+        assert_eq!(*d.payload(), payload_before);
+    }
+}

@@ -1,0 +1,150 @@
+//! The ADR (asynchronous DRAM refresh) region in the memory controller.
+//!
+//! Modern platforms guarantee that a small battery-backed region of the
+//! memory controller is flushed to NVM on power failure. STAR keeps its 16
+//! bitmap lines there (paper §III-C); SCA keeps counters there. The model
+//! is a bounded, LRU-evicting container of 64-byte lines keyed by their
+//! home NVM address: on a crash, every resident line is written to its
+//! home location by the battery-backed flush.
+
+use crate::store::{Line, LineAddr, LineStore};
+
+/// A bounded battery-backed line buffer with LRU replacement.
+///
+/// ```
+/// use star_nvm::{AdrRegion, Line, LineAddr};
+/// let mut adr = AdrRegion::new(2);
+/// adr.insert(LineAddr::new(1), Line::filled(1));
+/// adr.insert(LineAddr::new(2), Line::filled(2));
+/// let evicted = adr.insert(LineAddr::new(3), Line::filled(3));
+/// assert_eq!(evicted, Some((LineAddr::new(1), Line::filled(1))));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdrRegion {
+    capacity: usize,
+    /// Entries ordered by recency: front = LRU, back = MRU.
+    entries: Vec<(LineAddr, Line)>,
+}
+
+impl AdrRegion {
+    /// Creates a region holding at most `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// Maximum number of resident lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `addr` is resident. Does not affect recency.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.entries.iter().any(|(a, _)| *a == addr)
+    }
+
+    /// Looks up `addr`, marking it most-recently-used.
+    pub fn get_mut(&mut self, addr: LineAddr) -> Option<&mut Line> {
+        let pos = self.entries.iter().position(|(a, _)| *a == addr)?;
+        let entry = self.entries.remove(pos);
+        self.entries.push(entry);
+        Some(&mut self.entries.last_mut().expect("just pushed").1)
+    }
+
+    /// Inserts (or replaces) `addr`, marking it most-recently-used.
+    ///
+    /// Returns the LRU entry that had to be evicted to make room, if any.
+    /// The caller is responsible for writing the evicted line to NVM — at
+    /// run time that is a normal memory write; only at crash time does the
+    /// battery flush happen for free.
+    pub fn insert(&mut self, addr: LineAddr, line: Line) -> Option<(LineAddr, Line)> {
+        if let Some(existing) = self.get_mut(addr) {
+            *existing = line;
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        };
+        self.entries.push((addr, line));
+        evicted
+    }
+
+    /// Removes `addr` from the region.
+    pub fn remove(&mut self, addr: LineAddr) -> Option<Line> {
+        let pos = self.entries.iter().position(|(a, _)| *a == addr)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Iterates over resident lines (LRU first).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &Line)> {
+        self.entries.iter().map(|(a, l)| (*a, l))
+    }
+
+    /// The battery-backed flush at power failure: writes every resident
+    /// line to its home address in `store`. The region keeps its contents
+    /// (the model may inspect them), but a real crash would lose them.
+    pub fn flush_on_crash(&self, store: &mut LineStore) {
+        for (addr, line) in &self.entries {
+            store.write(*addr, *line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut adr = AdrRegion::new(2);
+        adr.insert(LineAddr::new(1), Line::filled(1));
+        adr.insert(LineAddr::new(2), Line::filled(2));
+        // Touch 1 so 2 becomes LRU.
+        adr.get_mut(LineAddr::new(1)).unwrap();
+        let ev = adr.insert(LineAddr::new(3), Line::filled(3));
+        assert_eq!(ev, Some((LineAddr::new(2), Line::filled(2))));
+        assert!(adr.contains(LineAddr::new(1)));
+        assert!(adr.contains(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn reinserting_updates_in_place() {
+        let mut adr = AdrRegion::new(1);
+        adr.insert(LineAddr::new(7), Line::filled(1));
+        let ev = adr.insert(LineAddr::new(7), Line::filled(2));
+        assert_eq!(ev, None);
+        assert_eq!(adr.len(), 1);
+        assert_eq!(*adr.get_mut(LineAddr::new(7)).unwrap(), Line::filled(2));
+    }
+
+    #[test]
+    fn crash_flush_writes_home_locations() {
+        let mut adr = AdrRegion::new(4);
+        adr.insert(LineAddr::new(10), Line::filled(0xaa));
+        adr.insert(LineAddr::new(20), Line::filled(0xbb));
+        let mut store = LineStore::new();
+        adr.flush_on_crash(&mut store);
+        assert_eq!(store.read(LineAddr::new(10)), Line::filled(0xaa));
+        assert_eq!(store.read(LineAddr::new(20)), Line::filled(0xbb));
+    }
+
+    #[test]
+    fn remove_frees_a_slot() {
+        let mut adr = AdrRegion::new(1);
+        adr.insert(LineAddr::new(1), Line::ZERO);
+        assert_eq!(adr.remove(LineAddr::new(1)), Some(Line::ZERO));
+        assert!(adr.is_empty());
+        assert_eq!(adr.insert(LineAddr::new(2), Line::ZERO), None);
+    }
+}

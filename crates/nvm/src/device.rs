@@ -1,0 +1,334 @@
+//! The PCM device: banks, write queue, scheduling and the line store.
+//!
+//! The model is event-driven at request granularity. The caller supplies
+//! the current core time with every request; the device returns completion
+//! (for reads) or acceptance (for writes) times and accumulates stall and
+//! energy statistics. Scheduling policy:
+//!
+//! * **Reads have priority.** A read is serviced as soon as its bank is
+//!   free; pending queued writes to other banks do not delay it.
+//! * **Writes are posted.** A write enters the bounded write queue and
+//!   retires in the background (bank occupancy [`PcmTimings::write_occupancy_ps`]).
+//!   The core only stalls when the queue is full — the classic
+//!   write-queue-pressure mechanism by which extra metadata writes
+//!   (Anubis's shadow table, strict persistence) degrade IPC.
+//! * **tWTR** is charged when a read follows a write on the same bank, and
+//!   **tFAW** limits activation bursts device-wide.
+
+use crate::energy::EnergyModel;
+use crate::stats::{AccessClass, NvmStats};
+use crate::store::{Line, LineAddr, LineStore};
+use crate::timings::PcmTimings;
+use crate::wear::WearTracker;
+use std::collections::VecDeque;
+
+/// Configuration of an [`NvmDevice`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmConfig {
+    /// Timing parameters (paper Table I defaults).
+    pub timings: PcmTimings,
+    /// Energy parameters.
+    pub energy: EnergyModel,
+    /// Number of banks (address-interleaved at line granularity).
+    pub banks: usize,
+    /// Write-queue capacity; the core stalls when it is full.
+    pub write_queue_capacity: usize,
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        Self {
+            timings: PcmTimings::default(),
+            energy: EnergyModel::default(),
+            banks: 32,
+            write_queue_capacity: 64,
+        }
+    }
+}
+
+/// Per-bank scheduling state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    /// Time at which the bank finishes its current operation.
+    free_at_ps: u64,
+    /// Completion time of the last *write* on this bank (for tWTR).
+    last_write_end_ps: u64,
+}
+
+/// Result of a read request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadOutcome {
+    /// The line content.
+    pub data: Line,
+    /// Absolute time the data is available, ps.
+    pub complete_at_ps: u64,
+    /// Latency seen by the requester, ps.
+    pub latency_ps: u64,
+}
+
+/// Result of a write request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Time the write was accepted into the queue (equals the request time
+    /// unless the queue was full), ps.
+    pub accepted_at_ps: u64,
+    /// How long the requester stalled waiting for a queue slot, ps.
+    pub stall_ps: u64,
+}
+
+/// The PCM device model.
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    cfg: NvmConfig,
+    store: LineStore,
+    banks: Vec<Bank>,
+    /// Completion times of writes currently occupying queue slots, sorted
+    /// ascending (VecDeque front = earliest retirement).
+    inflight_writes: VecDeque<u64>,
+    /// Recent activation start times for the tFAW window.
+    recent_activations: VecDeque<u64>,
+    stats: NvmStats,
+    wear: WearTracker,
+}
+
+impl NvmDevice {
+    /// Creates a device with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `write_queue_capacity` is zero.
+    pub fn new(cfg: NvmConfig) -> Self {
+        assert!(cfg.banks > 0, "device needs at least one bank");
+        assert!(cfg.write_queue_capacity > 0, "write queue cannot be empty");
+        Self {
+            banks: vec![Bank::default(); cfg.banks],
+            cfg,
+            store: LineStore::new(),
+            inflight_writes: VecDeque::new(),
+            recent_activations: VecDeque::new(),
+            stats: NvmStats::new(),
+            wear: WearTracker::new(),
+        }
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &NvmConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    /// Per-line wear (endurance) statistics.
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    /// Resets statistics (e.g. after warm-up) without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = NvmStats::new();
+    }
+
+    /// Direct access to the backing store, bypassing timing — used by the
+    /// recovery engine (which uses the paper's fixed 100 ns/line model) and
+    /// by tests.
+    pub fn store(&self) -> &LineStore {
+        &self.store
+    }
+
+    /// Mutable direct access to the backing store (crash injection,
+    /// attacks, ADR flush).
+    pub fn store_mut(&mut self) -> &mut LineStore {
+        &mut self.store
+    }
+
+    fn bank_of(&self, addr: LineAddr) -> usize {
+        (addr.index() % self.cfg.banks as u64) as usize
+    }
+
+    /// Pops retired writes from the queue as of `now`.
+    fn drain_retired(&mut self, now_ps: u64) {
+        while matches!(self.inflight_writes.front(), Some(&t) if t <= now_ps) {
+            self.inflight_writes.pop_front();
+        }
+    }
+
+    /// Enforces the four-activation window; returns the earliest allowed
+    /// activation start at or after `t`.
+    fn faw_constrain(&mut self, t: u64) -> u64 {
+        let faw = self.cfg.timings.t_faw_ps;
+        while matches!(self.recent_activations.front(), Some(&a) if a + faw <= t) {
+            self.recent_activations.pop_front();
+        }
+        let start = if self.recent_activations.len() >= 4 {
+            t.max(self.recent_activations[self.recent_activations.len() - 4] + faw)
+        } else {
+            t
+        };
+        self.recent_activations.push_back(start);
+        if self.recent_activations.len() > 8 {
+            self.recent_activations.pop_front();
+        }
+        start
+    }
+
+    /// Issues a timed read.
+    pub fn read(&mut self, addr: LineAddr, class: AccessClass, now_ps: u64) -> ReadOutcome {
+        self.drain_retired(now_ps);
+        let t = self.cfg.timings;
+        let b = self.bank_of(addr);
+        let mut ready = now_ps.max(self.banks[b].free_at_ps);
+        // Write-to-read turnaround if the previous op on this bank wrote.
+        if self.banks[b].last_write_end_ps > 0 {
+            ready = ready.max(self.banks[b].last_write_end_ps + t.t_wtr_ps);
+        }
+        let start = self.faw_constrain(ready);
+        let complete = start + t.read_latency_ps();
+        self.banks[b].free_at_ps = start + t.read_occupancy_ps();
+        self.stats.record_read(class);
+        self.stats.energy_pj += self.cfg.energy.read_pj;
+        self.stats.read_queue_ps += start - now_ps;
+        ReadOutcome {
+            data: self.store.read(addr),
+            complete_at_ps: complete,
+            latency_ps: complete - now_ps,
+        }
+    }
+
+    /// Issues a timed (posted) write.
+    pub fn write(
+        &mut self,
+        addr: LineAddr,
+        line: Line,
+        class: AccessClass,
+        now_ps: u64,
+    ) -> WriteOutcome {
+        self.drain_retired(now_ps);
+        // Stall until a queue slot frees up.
+        let mut accepted = now_ps;
+        if self.inflight_writes.len() >= self.cfg.write_queue_capacity {
+            accepted = self.inflight_writes[self.inflight_writes.len() - self.cfg.write_queue_capacity];
+            self.drain_retired(accepted);
+        }
+        let t = self.cfg.timings;
+        let b = self.bank_of(addr);
+        let start = accepted.max(self.banks[b].free_at_ps);
+        let start = self.faw_constrain(start);
+        let end = start + t.write_occupancy_ps();
+        self.banks[b].free_at_ps = end;
+        self.banks[b].last_write_end_ps = end;
+        // Keep the retirement queue sorted: writes to different banks can
+        // complete out of order relative to enqueue order.
+        let pos = self.inflight_writes.partition_point(|&e| e <= end);
+        self.inflight_writes.insert(pos, end);
+
+        self.store.write(addr, line);
+        self.wear.record(addr);
+        self.stats.record_write(class);
+        self.stats.energy_pj += self.cfg.energy.write_pj;
+        let stall = accepted - now_ps;
+        self.stats.write_stall_ps += stall;
+        WriteOutcome { accepted_at_ps: accepted, stall_ps: stall }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> NvmDevice {
+        NvmDevice::new(NvmConfig::default())
+    }
+
+    #[test]
+    fn read_returns_written_data() {
+        let mut d = device();
+        d.write(LineAddr::new(9), Line::filled(0x42), AccessClass::Data, 0);
+        let r = d.read(LineAddr::new(9), AccessClass::Data, 1_000_000);
+        assert_eq!(r.data, Line::filled(0x42));
+    }
+
+    #[test]
+    fn idle_read_latency_is_the_minimum() {
+        let mut d = device();
+        let r = d.read(LineAddr::new(3), AccessClass::Data, 0);
+        assert_eq!(r.latency_ps, d.config().timings.read_latency_ps());
+    }
+
+    #[test]
+    fn read_after_write_same_bank_pays_turnaround() {
+        let mut d = device();
+        let banks = d.config().banks as u64;
+        d.write(LineAddr::new(banks), Line::ZERO, AccessClass::Data, 0);
+        // Same bank (addr % banks equal), read right away.
+        let r = d.read(LineAddr::new(2 * banks), AccessClass::Data, 0);
+        let t = d.config().timings;
+        assert!(
+            r.latency_ps >= t.write_occupancy_ps() + t.t_wtr_ps,
+            "read must wait for write recovery + tWTR, got {}",
+            r.latency_ps
+        );
+    }
+
+    #[test]
+    fn read_to_other_bank_is_not_delayed_by_write() {
+        let mut d = device();
+        d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
+        let r = d.read(LineAddr::new(1), AccessClass::Data, 0);
+        // Different bank: only tFAW could interfere, which is tiny.
+        assert!(r.latency_ps <= d.config().timings.read_latency_ps() + d.config().timings.t_faw_ps);
+    }
+
+    #[test]
+    fn full_write_queue_stalls() {
+        let mut d = NvmDevice::new(NvmConfig { write_queue_capacity: 2, banks: 1, ..NvmConfig::default() });
+        let w0 = d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
+        let w1 = d.write(LineAddr::new(1), Line::ZERO, AccessClass::Data, 0);
+        assert_eq!(w0.stall_ps, 0);
+        assert_eq!(w1.stall_ps, 0);
+        let w2 = d.write(LineAddr::new(2), Line::ZERO, AccessClass::Data, 0);
+        assert!(w2.stall_ps > 0, "third write into a 2-deep queue must stall");
+        assert_eq!(d.stats().write_stall_ps, w2.stall_ps);
+    }
+
+    #[test]
+    fn queue_drains_with_time() {
+        let mut d = NvmDevice::new(NvmConfig { write_queue_capacity: 1, banks: 1, ..NvmConfig::default() });
+        d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
+        // Far in the future the first write has retired: no stall.
+        let w = d.write(LineAddr::new(1), Line::ZERO, AccessClass::Data, 10_000_000);
+        assert_eq!(w.stall_ps, 0);
+    }
+
+    #[test]
+    fn energy_accumulates_asymmetrically() {
+        let mut d = device();
+        d.read(LineAddr::new(0), AccessClass::Data, 0);
+        let after_read = d.stats().energy_pj;
+        d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
+        let after_write = d.stats().energy_pj - after_read;
+        assert!(after_write > after_read);
+    }
+
+    #[test]
+    fn faw_limits_activation_bursts() {
+        let mut d = device();
+        // Five back-to-back reads to five different banks at t=0; the fifth
+        // activation must start at least tFAW after the first.
+        let mut latencies = Vec::new();
+        for i in 0..5 {
+            latencies.push(d.read(LineAddr::new(i), AccessClass::Data, 0).latency_ps);
+        }
+        let t = d.config().timings;
+        assert!(latencies[4] >= t.read_latency_ps() + t.t_faw_ps - t.read_latency_ps().min(t.t_faw_ps));
+        assert!(latencies[4] > latencies[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        NvmDevice::new(NvmConfig { banks: 0, ..NvmConfig::default() });
+    }
+}

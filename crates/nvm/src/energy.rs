@@ -1,0 +1,51 @@
+//! Asymmetric read/write energy accounting.
+//!
+//! NVM write energy is the headline cost the paper's Fig. 13 measures:
+//! PCM cell writes are an order of magnitude more expensive than reads
+//! (and roughly 2x DRAM writes). Absolute joules are not reported by the
+//! paper — every energy figure is normalized to the WB baseline — so only
+//! the read/write ratio matters for reproducing the shape.
+
+/// Per-access energy of a 64-byte line, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnergyModel {
+    /// Energy of one 64 B line read, pJ.
+    pub read_pj: u64,
+    /// Energy of one 64 B line write, pJ.
+    pub write_pj: u64,
+}
+
+impl Default for EnergyModel {
+    /// PCM array energy at 64 B granularity: ~2 pJ/bit read and ~4× that
+    /// per written bit (Lee et al., ISCA'09 report ~2 pJ/b reads and
+    /// 13.5–16.8 pJ/b for the written bits, of which roughly half flip) →
+    /// 2 150 pJ and 8 602 pJ per 64 B line.
+    fn default() -> Self {
+        Self { read_pj: 2_150, write_pj: 8_602 }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of `reads` line reads plus `writes` line writes, pJ.
+    pub fn total_pj(&self, reads: u64, writes: u64) -> u64 {
+        reads * self.read_pj + writes * self.write_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_dominate() {
+        let e = EnergyModel::default();
+        assert!(e.write_pj > 4 * e.read_pj);
+    }
+
+    #[test]
+    fn total_is_linear() {
+        let e = EnergyModel { read_pj: 2, write_pj: 10 };
+        assert_eq!(e.total_pj(3, 4), 46);
+        assert_eq!(e.total_pj(0, 0), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! The sparse 64-byte line store and line/address types.
+
+use crate::LINE_BYTES;
+use std::collections::HashMap;
+
+/// A 64-byte memory line — the granularity of every access in the model
+/// (user data, counter blocks, SIT nodes, bitmap lines are all one line).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Line([u8; LINE_BYTES]);
+
+impl Line {
+    /// A line of all zero bytes (the initial content of NVM in the model).
+    pub const ZERO: Line = Line([0; LINE_BYTES]);
+
+    /// Creates a line with every byte set to `byte`.
+    pub fn filled(byte: u8) -> Self {
+        Line([byte; LINE_BYTES])
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; LINE_BYTES] {
+        &self.0
+    }
+
+    /// Mutably borrows the raw bytes.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; LINE_BYTES] {
+        &mut self.0
+    }
+
+    /// True if every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Line::ZERO
+    }
+}
+
+impl From<[u8; LINE_BYTES]> for Line {
+    fn from(bytes: [u8; LINE_BYTES]) -> Self {
+        Line(bytes)
+    }
+}
+
+impl From<Line> for [u8; LINE_BYTES] {
+    fn from(line: Line) -> Self {
+        line.0
+    }
+}
+
+impl AsRef<[u8]> for Line {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl core::fmt::Debug for Line {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_zero() {
+            write!(f, "Line(ZERO)")
+        } else {
+            write!(f, "Line({:02x}{:02x}{:02x}{:02x}..)", self.0[0], self.0[1], self.0[2], self.0[3])
+        }
+    }
+}
+
+/// The index of a 64-byte line in the simulated physical address space.
+///
+/// Multiplying by [`LINE_BYTES`] gives the byte address. A newtype keeps
+/// line indices from being confused with byte addresses or node indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Wraps a raw line index.
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The raw line index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of the line.
+    pub const fn byte_addr(self) -> u64 {
+        self.0 * LINE_BYTES as u64
+    }
+
+    /// The line containing byte address `byte`.
+    pub const fn containing(byte: u64) -> Self {
+        LineAddr(byte / LINE_BYTES as u64)
+    }
+}
+
+impl core::fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(index: u64) -> Self {
+        LineAddr(index)
+    }
+}
+
+/// A sparse store of 64-byte lines.
+///
+/// NVM starts zeroed; only written lines consume host memory, which lets
+/// the model keep the full 16 GB geometry of the paper's system.
+#[derive(Debug, Default, Clone)]
+pub struct LineStore {
+    lines: HashMap<LineAddr, Line>,
+}
+
+impl LineStore {
+    /// Creates an empty (all-zero) store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the line at `addr` (zero if never written).
+    pub fn read(&self, addr: LineAddr) -> Line {
+        self.lines.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Writes `line` at `addr`.
+    pub fn write(&mut self, addr: LineAddr, line: Line) {
+        // Writing an explicit zero line still has to be remembered — the
+        // previous content may have been non-zero.
+        self.lines.insert(addr, line);
+    }
+
+    /// Number of lines that have ever been written.
+    pub fn footprint_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Iterates over all written lines.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &Line)> {
+        self.lines.iter().map(|(a, l)| (*a, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_lines_read_zero() {
+        let store = LineStore::new();
+        assert_eq!(store.read(LineAddr::new(123)), Line::ZERO);
+        assert_eq!(store.footprint_lines(), 0);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut store = LineStore::new();
+        store.write(LineAddr::new(5), Line::filled(0xab));
+        assert_eq!(store.read(LineAddr::new(5)), Line::filled(0xab));
+        assert_eq!(store.read(LineAddr::new(6)), Line::ZERO);
+        assert_eq!(store.footprint_lines(), 1);
+    }
+
+    #[test]
+    fn overwriting_with_zero_is_remembered() {
+        let mut store = LineStore::new();
+        store.write(LineAddr::new(1), Line::filled(1));
+        store.write(LineAddr::new(1), Line::ZERO);
+        assert_eq!(store.read(LineAddr::new(1)), Line::ZERO);
+        assert_eq!(store.footprint_lines(), 1);
+    }
+
+    #[test]
+    fn line_addr_byte_conversions() {
+        let a = LineAddr::containing(130);
+        assert_eq!(a.index(), 2);
+        assert_eq!(a.byte_addr(), 128);
+    }
+
+    #[test]
+    fn line_debug_is_never_empty() {
+        assert!(!format!("{:?}", Line::ZERO).is_empty());
+        assert!(!format!("{:?}", Line::filled(3)).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! DDR-PCM timing parameters (paper Table I).
+
+use crate::PS_PER_NS;
+
+/// PCM latency model, in picoseconds.
+///
+/// Defaults are the paper's Table I values, shared with SuperMem and the
+/// crossbar-ReRAM study it cites:
+/// `tRCD/tCL/tCWD/tFAW/tWTR/tWR = 48/15/13/50/7.5/300 ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcmTimings {
+    /// Row-to-column delay (activation), ps.
+    pub t_rcd_ps: u64,
+    /// CAS (read column access) latency, ps.
+    pub t_cl_ps: u64,
+    /// Column write delay, ps.
+    pub t_cwd_ps: u64,
+    /// Four-activation window, ps.
+    pub t_faw_ps: u64,
+    /// Write-to-read turnaround, ps.
+    pub t_wtr_ps: u64,
+    /// Write recovery (the long PCM cell write), ps.
+    pub t_wr_ps: u64,
+    /// Data burst duration for one 64 B line, ps.
+    pub t_burst_ps: u64,
+}
+
+impl Default for PcmTimings {
+    fn default() -> Self {
+        Self {
+            t_rcd_ps: 48 * PS_PER_NS,
+            t_cl_ps: 15 * PS_PER_NS,
+            t_cwd_ps: 13 * PS_PER_NS,
+            t_faw_ps: 50 * PS_PER_NS,
+            t_wtr_ps: 7_500, // 7.5 ns
+            t_wr_ps: 300 * PS_PER_NS,
+            t_burst_ps: 4 * PS_PER_NS,
+        }
+    }
+}
+
+impl PcmTimings {
+    /// Latency from issuing a read at an idle bank to data available:
+    /// activation + CAS + burst.
+    pub fn read_latency_ps(&self) -> u64 {
+        self.t_rcd_ps + self.t_cl_ps + self.t_burst_ps
+    }
+
+    /// Time a write occupies its bank: activation + write delay + burst +
+    /// write recovery.
+    pub fn write_occupancy_ps(&self) -> u64 {
+        self.t_rcd_ps + self.t_cwd_ps + self.t_burst_ps + self.t_wr_ps
+    }
+
+    /// Time a read occupies its bank (row cycle without the long write
+    /// recovery).
+    pub fn read_occupancy_ps(&self) -> u64 {
+        self.t_rcd_ps + self.t_cl_ps + self.t_burst_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_table1() {
+        let t = PcmTimings::default();
+        assert_eq!(t.t_rcd_ps, 48_000);
+        assert_eq!(t.t_cl_ps, 15_000);
+        assert_eq!(t.t_cwd_ps, 13_000);
+        assert_eq!(t.t_faw_ps, 50_000);
+        assert_eq!(t.t_wtr_ps, 7_500);
+        assert_eq!(t.t_wr_ps, 300_000);
+    }
+
+    #[test]
+    fn writes_are_much_slower_than_reads() {
+        let t = PcmTimings::default();
+        assert!(t.write_occupancy_ps() > 4 * t.read_latency_ps());
+    }
+}

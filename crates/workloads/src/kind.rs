@@ -1,0 +1,109 @@
+//! The workload registry.
+
+use crate::micro::{ArrayWorkload, BtreeWorkload, HashWorkload, QueueWorkload, RbtreeWorkload};
+use crate::tpcc::TpccWorkload;
+use crate::ycsb::YcsbWorkload;
+use crate::Workload;
+
+/// The seven evaluation workloads, in the order the paper's figures list
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Random array updates.
+    Array,
+    /// B-tree inserts.
+    Btree,
+    /// Hash-table inserts/updates.
+    Hash,
+    /// Ring-buffer enqueue/dequeue.
+    Queue,
+    /// Red-black-tree inserts.
+    Rbtree,
+    /// WHISPER TPC-C transaction mix.
+    Tpcc,
+    /// WHISPER YCSB-A key-value mix.
+    Ycsb,
+}
+
+impl WorkloadKind {
+    /// The five micro-benchmarks.
+    pub const MICROS: [WorkloadKind; 5] = [
+        WorkloadKind::Array,
+        WorkloadKind::Btree,
+        WorkloadKind::Hash,
+        WorkloadKind::Queue,
+        WorkloadKind::Rbtree,
+    ];
+
+    /// The two macro-benchmarks.
+    pub const MACROS: [WorkloadKind; 2] = [WorkloadKind::Tpcc, WorkloadKind::Ycsb];
+
+    /// All seven workloads.
+    pub const ALL: [WorkloadKind; 7] = [
+        WorkloadKind::Array,
+        WorkloadKind::Btree,
+        WorkloadKind::Hash,
+        WorkloadKind::Queue,
+        WorkloadKind::Rbtree,
+        WorkloadKind::Tpcc,
+        WorkloadKind::Ycsb,
+    ];
+
+    /// Builds a fresh instance seeded with `seed`.
+    pub fn instantiate(self, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Array => Box::new(ArrayWorkload::new(seed)),
+            WorkloadKind::Btree => Box::new(BtreeWorkload::new(seed)),
+            WorkloadKind::Hash => Box::new(HashWorkload::new(seed)),
+            WorkloadKind::Queue => Box::new(QueueWorkload::new(seed)),
+            WorkloadKind::Rbtree => Box::new(RbtreeWorkload::new(seed)),
+            WorkloadKind::Tpcc => Box::new(TpccWorkload::new(seed)),
+            WorkloadKind::Ycsb => Box::new(YcsbWorkload::new(seed)),
+        }
+    }
+
+    /// The figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Array => "array",
+            WorkloadKind::Btree => "btree",
+            WorkloadKind::Hash => "hash",
+            WorkloadKind::Queue => "queue",
+            WorkloadKind::Rbtree => "rbtree",
+            WorkloadKind::Tpcc => "tpcc",
+            WorkloadKind::Ycsb => "ycsb",
+        }
+    }
+
+    /// Parses a figure label back into a kind.
+    pub fn from_label(label: &str) -> Option<WorkloadKind> {
+        WorkloadKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+impl core::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for k in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::from_label(k.label()), Some(k));
+            assert_eq!(k.instantiate(0).name(), k.label());
+        }
+        assert_eq!(WorkloadKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn micro_and_macro_partition_all() {
+        let mut combined: Vec<WorkloadKind> = WorkloadKind::MICROS.to_vec();
+        combined.extend(WorkloadKind::MACROS);
+        assert_eq!(combined, WorkloadKind::ALL.to_vec());
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's evaluation workloads.
+//!
+//! Five persistent micro-benchmarks — **array**, **btree**, **hash**,
+//! **queue**, **rbtree** — widely used across the persistent-memory
+//! literature the paper cites, plus two WHISPER-style macro-benchmarks —
+//! **tpcc** and **ycsb**. Each is a *real* Rust data structure operating
+//! on a simulated persistent heap: every operation emits the
+//! load/store/`clwb`/`sfence` reference stream a persistent-memory
+//! program would issue, which is all the secure memory controller
+//! observes.
+//!
+//! The workloads differ exactly where the paper's figures need them to:
+//! the queue and log-structured macros have high spatial locality (STAR's
+//! bitmap lines rarely spill), while array and hash scatter writes across
+//! the heap (the paper's two worst cases for STAR's extra traffic).
+//!
+//! ```
+//! use star_workloads::{Workload, WorkloadKind};
+//! use star_mem::VecSink;
+//!
+//! let mut wl = WorkloadKind::Queue.instantiate(7);
+//! let mut sink = VecSink::new();
+//! wl.run(100, &mut sink);
+//! assert!(sink.clwb_count() > 0, "persistent workloads persist");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heap;
+pub mod kind;
+pub mod micro;
+pub mod multi;
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use heap::{Pmem, VolatileSet};
+pub use kind::WorkloadKind;
+pub use multi::MultiThreaded;
+pub use zipf::Zipfian;
+
+use star_mem::TraceSink;
+
+/// A benchmark that drives a [`TraceSink`] (usually the secure memory
+/// engine) with its reference stream.
+pub trait Workload {
+    /// Short name, as the paper's figures label it.
+    fn name(&self) -> &'static str;
+
+    /// Executes `ops` operations against `sink`.
+    fn run(&mut self, ops: usize, sink: &mut dyn TraceSink);
+}

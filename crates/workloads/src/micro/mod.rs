@@ -1,0 +1,89 @@
+//! The five persistent micro-benchmarks (paper §IV-A).
+
+pub mod array;
+pub mod btree;
+pub mod hash;
+pub mod queue;
+pub mod rbtree;
+
+pub use array::ArrayWorkload;
+pub use btree::BtreeWorkload;
+pub use hash::HashWorkload;
+pub use queue::QueueWorkload;
+pub use rbtree::RbtreeWorkload;
+
+/// Default heap base line for workloads (line 0 of the data region).
+pub const HEAP_BASE: u64 = 0;
+
+/// Default per-workload heap budget: 64 MB of data lines. Large enough to
+/// pressure the 512 KB metadata cache, small enough to run quickly.
+pub const HEAP_LINES: u64 = (64 << 20) / 64;
+
+#[cfg(test)]
+mod tests {
+    use crate::WorkloadKind;
+    use star_mem::{MemEvent, VecSink};
+
+    /// Every micro-benchmark must produce a persist-ordered stream:
+    /// writes, clwbs and fences, and must stay within its heap.
+    #[test]
+    fn all_micros_emit_persist_streams() {
+        for kind in WorkloadKind::MICROS {
+            let mut wl = kind.instantiate(11);
+            let mut sink = VecSink::new();
+            wl.run(300, &mut sink);
+            assert!(sink.write_count() > 0, "{kind:?} writes");
+            assert!(sink.clwb_count() > 0, "{kind:?} persists");
+            assert!(
+                sink.events.iter().any(|e| matches!(e, MemEvent::Fence)),
+                "{kind:?} fences"
+            );
+            for e in &sink.events {
+                if let MemEvent::Write { line, .. } | MemEvent::Read { line } = e {
+                    assert!(*line < super::HEAP_BASE + super::HEAP_LINES, "{kind:?} in heap");
+                }
+            }
+        }
+    }
+
+    /// Identical seeds give identical traces (reproducible figures).
+    #[test]
+    fn traces_are_deterministic() {
+        for kind in WorkloadKind::MICROS {
+            let mut a = kind.instantiate(5);
+            let mut b = kind.instantiate(5);
+            let (mut sa, mut sb) = (VecSink::new(), VecSink::new());
+            a.run(200, &mut sa);
+            b.run(200, &mut sb);
+            assert_eq!(sa.events, sb.events, "{kind:?} determinism");
+        }
+    }
+
+    /// The queue is the high-locality extreme: its persists land on
+    /// consecutive lines far more often than the array's random writes.
+    #[test]
+    fn queue_is_more_local_than_array() {
+        let spread = |kind: WorkloadKind| {
+            let mut wl = kind.instantiate(3);
+            let mut sink = VecSink::new();
+            wl.run(500, &mut sink);
+            let mut lines: Vec<u64> = sink
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    MemEvent::Write { line, .. } => Some(*line / 512),
+                    _ => None,
+                })
+                .collect();
+            lines.sort_unstable();
+            lines.dedup();
+            lines.len()
+        };
+        let queue = spread(WorkloadKind::Queue);
+        let array = spread(WorkloadKind::Array);
+        assert!(
+            queue < array,
+            "queue should touch fewer 32KB bitmap regions: {queue} vs {array}"
+        );
+    }
+}

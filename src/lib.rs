@@ -1,0 +1,39 @@
+//! # STAR: write-friendly, fast-recovery security metadata for NVM
+//!
+//! This is the facade crate of a reproduction of *"A Write-Friendly and
+//! Fast-Recovery Scheme for Security Metadata in Non-Volatile Memories"*
+//! (Huang & Hua, HPCA 2021). It re-exports the whole workspace:
+//!
+//! * [`crypto`] — AES-128 CTR one-time pads, SHA-256, SipHash-2-4 and the
+//!   54-bit truncated MACs used throughout the secure-memory model.
+//! * [`nvm`] — an event-driven PCM device model (banks, queues, timing,
+//!   energy) with a sparse 16 GB line store and an ADR region.
+//! * [`mem`] — a trace-driven cache hierarchy and a simple analytic core
+//!   model that turns memory stalls into IPC.
+//! * [`metadata`] — 64-byte security-metadata node formats, the SGX
+//!   integrity tree (SIT) geometry and engines, and a Bonsai Merkle tree.
+//! * [`core`] — the secure memory controller with four persistence schemes
+//!   (write-back, strict, Anubis, STAR), crash snapshots and recovery.
+//! * [`workloads`] — the five persistent micro-benchmarks and two WHISPER
+//!   style macro-benchmarks used by the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use star::core::{SecureMemory, SecureMemConfig, SchemeKind};
+//! use star::workloads::{Workload, WorkloadKind};
+//!
+//! let cfg = SecureMemConfig::default();
+//! let mut mem = SecureMemory::new(SchemeKind::Star, cfg);
+//! let mut wl = WorkloadKind::Array.instantiate(42);
+//! wl.run(1_000, &mut mem);
+//! let report = mem.crash_and_recover().expect("recovery verifies");
+//! assert!(report.verified);
+//! ```
+
+pub use star_core as core;
+pub use star_crypto as crypto;
+pub use star_mem as mem;
+pub use star_metadata as metadata;
+pub use star_nvm as nvm;
+pub use star_workloads as workloads;

@@ -1,0 +1,98 @@
+//! Property-based end-to-end tests: random program traces driven through
+//! the engine, then crashed and recovered.
+
+use proptest::prelude::*;
+use star::core::{SchemeKind, SecureMemConfig, SecureMemory};
+
+/// A random program step.
+#[derive(Debug, Clone)]
+enum Step {
+    Write { line: u64, persist: bool },
+    Read { line: u64 },
+    Fence,
+    Work(u64),
+}
+
+fn step_strategy(lines: u64) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..lines, any::<bool>()).prop_map(|(line, persist)| Step::Write { line, persist }),
+        2 => (0..lines).prop_map(|line| Step::Read { line }),
+        1 => Just(Step::Fence),
+        1 => (1u64..500).prop_map(Step::Work),
+    ]
+}
+
+fn drive(mem: &mut SecureMemory, steps: &[Step]) -> Vec<u64> {
+    // Shadow model of the latest persisted-or-cached value per line.
+    let mut shadow = vec![0u64; 256];
+    let mut version = 0;
+    for step in steps {
+        match step {
+            Step::Write { line, persist } => {
+                version += 1;
+                mem.write_data(*line, version);
+                shadow[*line as usize] = version;
+                if *persist {
+                    mem.persist_data(*line);
+                }
+            }
+            Step::Read { line } => {
+                let got = mem.read_data(*line);
+                assert_eq!(got, shadow[*line as usize], "read must return the last write");
+            }
+            Step::Fence => mem.fence(),
+            Step::Work(n) => mem.work(*n),
+        }
+    }
+    shadow
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of writes/persists/reads/fences recovers exactly
+    /// under STAR.
+    #[test]
+    fn star_random_traces_recover(steps in proptest::collection::vec(step_strategy(256), 1..400)) {
+        let mut mem = SecureMemory::new(SchemeKind::Star, SecureMemConfig::small());
+        drive(&mut mem, &steps);
+        prop_assert_eq!(mem.integrity_violations(), 0);
+        let report = mem.crash_and_recover().expect("attack-free recovery");
+        prop_assert!(report.verified);
+        prop_assert!(report.correct, "{} mismatches", report.mismatches);
+    }
+
+    /// The same traces under Anubis also recover exactly.
+    #[test]
+    fn anubis_random_traces_recover(steps in proptest::collection::vec(step_strategy(256), 1..300)) {
+        let mut mem = SecureMemory::new(SchemeKind::Anubis, SecureMemConfig::small());
+        drive(&mut mem, &steps);
+        let report = mem.crash_and_recover().expect("recovery");
+        prop_assert!(report.correct, "{} mismatches", report.mismatches);
+    }
+
+    /// Reads always see the program's latest value, under any scheme.
+    #[test]
+    fn reads_are_coherent_under_all_schemes(
+        steps in proptest::collection::vec(step_strategy(64), 1..200),
+        scheme_idx in 0usize..4,
+    ) {
+        let scheme = SchemeKind::ALL[scheme_idx];
+        let mut mem = SecureMemory::new(scheme, SecureMemConfig::small());
+        drive(&mut mem, &steps); // drive() asserts on every read
+        prop_assert_eq!(mem.integrity_violations(), 0);
+    }
+
+    /// Write traffic ordering STAR <= Anubis holds for arbitrary traces.
+    #[test]
+    fn star_never_writes_more_than_anubis(
+        steps in proptest::collection::vec(step_strategy(128), 50..250),
+    ) {
+        let run = |scheme| {
+            let mut mem = SecureMemory::new(scheme, SecureMemConfig::small());
+            drive(&mut mem, &steps);
+            mem.report().total_writes()
+        };
+        prop_assert!(run(SchemeKind::Star) <= run(SchemeKind::Anubis));
+    }
+}
