@@ -1,7 +1,7 @@
-//! Criterion benchmarks of STAR's bitmap machinery (the only extra
+//! Benchmarks of STAR's bitmap machinery (the only extra
 //! run-time work STAR adds over WB).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_bench::microbench::{BenchmarkId, Criterion};
 use star_core::star::bitmap::{BitmapLayout, MultiLayerBitmap};
 use star_nvm::{NvmConfig, NvmDevice};
 use std::hint::black_box;
@@ -25,18 +25,22 @@ fn bench_set_clear_hot(c: &mut Criterion) {
 fn bench_set_striding(c: &mut Criterion) {
     let mut group = c.benchmark_group("bitmap/set_striding");
     for adr_lines in [2usize, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(adr_lines), &adr_lines, |b, &adr| {
-            let layout = BitmapLayout::new(1 << 20, 1 << 30);
-            let mut bitmap = MultiLayerBitmap::new(layout, adr);
-            let mut nvm = NvmDevice::new(NvmConfig::default());
-            let mut i = 0u64;
-            b.iter(|| {
-                // Stride across many bitmap lines to exercise LRU spills.
-                let idx = (i * 7919) % (1 << 20);
-                i += 1;
-                bitmap.set(black_box(idx), &mut nvm, 0)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(adr_lines),
+            &adr_lines,
+            |b, &adr| {
+                let layout = BitmapLayout::new(1 << 20, 1 << 30);
+                let mut bitmap = MultiLayerBitmap::new(layout, adr);
+                let mut nvm = NvmDevice::new(NvmConfig::default());
+                let mut i = 0u64;
+                b.iter(|| {
+                    // Stride across many bitmap lines to exercise LRU spills.
+                    let idx = (i * 7919) % (1 << 20);
+                    i += 1;
+                    bitmap.set(black_box(idx), &mut nvm, 0)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -60,5 +64,10 @@ fn bench_collect_stale(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_set_clear_hot, bench_set_striding, bench_collect_stale);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_set_clear_hot(&mut c);
+    bench_set_striding(&mut c);
+    bench_collect_stale(&mut c);
+    c.report();
+}

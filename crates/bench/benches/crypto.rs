@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks for the crypto substrate: these set the
+//! Micro-benchmarks for the crypto substrate: these set the
 //! per-access costs the secure-memory model abstracts away.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use star_bench::microbench::Criterion;
 use star_crypto::mac::{MacInput, MacKey};
 use star_crypto::{one_time_pad, Aes128, Sha256};
 use std::hint::black_box;
@@ -37,8 +37,16 @@ fn bench_node_mac(c: &mut Criterion) {
 
 fn bench_sha256(c: &mut Criterion) {
     let data = [0xabu8; 64];
-    c.bench_function("sha256/64B", |b| b.iter(|| Sha256::digest(black_box(&data))));
+    c.bench_function("sha256/64B", |b| {
+        b.iter(|| Sha256::digest(black_box(&data)))
+    });
 }
 
-criterion_group!(benches, bench_aes_block, bench_otp, bench_node_mac, bench_sha256);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_aes_block(&mut c);
+    bench_otp(&mut c);
+    bench_node_mac(&mut c);
+    bench_sha256(&mut c);
+    c.report();
+}

@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the secure-memory engine: per-scheme cost of
+//! Benchmarks of the secure-memory engine: per-scheme cost of
 //! driving the same workload trace (the simulation-throughput view of
 //! Fig. 11's traffic differences).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_bench::microbench::{BenchmarkId, Criterion};
 use star_core::{SchemeKind, SecureMemConfig, SecureMemory};
 use star_workloads::WorkloadKind;
 use std::hint::black_box;
@@ -11,14 +11,18 @@ fn bench_schemes(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/array_1k_ops");
     group.sample_size(10);
     for scheme in SchemeKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &scheme| {
-            b.iter(|| {
-                let mut mem = SecureMemory::new(scheme, SecureMemConfig::default());
-                let mut wl = WorkloadKind::Array.instantiate(7);
-                wl.run(1_000, &mut mem);
-                black_box(mem.report().total_writes())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut mem = SecureMemory::new(scheme, SecureMemConfig::default());
+                    let mut wl = WorkloadKind::Array.instantiate(7);
+                    wl.run(1_000, &mut mem);
+                    black_box(mem.report().total_writes())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -39,5 +43,9 @@ fn bench_workloads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schemes, bench_workloads);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_schemes(&mut c);
+    bench_workloads(&mut c);
+    c.report();
+}

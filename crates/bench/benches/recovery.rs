@@ -1,7 +1,7 @@
-//! Criterion benchmarks of crash + recovery (the host-side cost; the
+//! Benchmarks of crash + recovery (the host-side cost; the
 //! modeled NVM recovery time is what Fig. 14b reports).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_bench::microbench::{BatchSize, BenchmarkId, Criterion};
 use star_core::{recover, SchemeKind, SecureMemConfig, SecureMemory};
 use star_workloads::WorkloadKind;
 use std::hint::black_box;
@@ -33,10 +33,14 @@ fn bench_crash_snapshot(c: &mut Criterion) {
         b.iter_batched(
             || dirty_engine(SchemeKind::Star),
             |mem| black_box(mem.crash()),
-            criterion::BatchSize::LargeInput,
+            BatchSize::LargeInput,
         )
     });
 }
 
-criterion_group!(benches, bench_recover, bench_crash_snapshot);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_recover(&mut c);
+    bench_crash_snapshot(&mut c);
+    c.report();
+}

@@ -1,0 +1,154 @@
+//! `faultsim` — crash-schedule exploration from the command line.
+//!
+//! ```text
+//! faultsim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N]
+//!          [--seed S] [--fault crash|drop-wpq|torn|flip-mac|flip-counter]
+//!          [--exhaustive] [--max-cases N] [--sample-seed S]
+//!          [--lsb-bits B] [--json PATH]
+//! ```
+//!
+//! Replays the (workload, scheme, seed) run once per persist point with a
+//! crash injected there, recovers, classifies every case, and prints a
+//! summary table. `--json PATH` additionally writes the full
+//! machine-readable report (`-` for stdout).
+//!
+//! Exit status: 0 when no explored case was silently corrupted, 1
+//! otherwise — so a CI smoke run is just
+//! `faultsim --scheme star --workload array --ops 50 --exhaustive`.
+
+use star_core::SchemeKind;
+use star_faultsim::{explore, scheme_from_label, ExplorePlan, FaultKind, SimSetup};
+use star_workloads::WorkloadKind;
+
+#[derive(Debug)]
+struct Options {
+    scheme: SchemeKind,
+    workload: WorkloadKind,
+    ops: usize,
+    seed: u64,
+    fault: FaultKind,
+    exhaustive: bool,
+    max_cases: usize,
+    sample_seed: u64,
+    lsb_bits: Option<u32>,
+    json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scheme: SchemeKind::Star,
+            workload: WorkloadKind::Array,
+            ops: 200,
+            seed: 42,
+            fault: FaultKind::CrashOnly,
+            exhaustive: false,
+            max_cases: 256,
+            sample_seed: 1,
+            lsb_bits: None,
+            json: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: faultsim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N] \
+         [--seed S] [--fault crash|drop-wpq|torn|flip-mac|flip-counter] [--exhaustive] \
+         [--max-cases N] [--sample-seed S] [--lsb-bits B] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_fault(label: &str) -> FaultKind {
+    match label {
+        "crash" | "crash-only" => FaultKind::CrashOnly,
+        "drop-wpq" => FaultKind::DropWpq { max_entries: 8 },
+        "torn" | "torn-write" => FaultKind::TornWrite,
+        "flip-mac" | "flip-mac-bit" => FaultKind::FlipMacBit { bit: 5 },
+        "flip-counter" | "flip-counter-bit" => FaultKind::FlipCounterBit { bit: 17 },
+        _ => usage(),
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scheme" => {
+                opts.scheme = scheme_from_label(&value(&args, &mut i)).unwrap_or_else(|| usage())
+            }
+            "--workload" => {
+                opts.workload =
+                    WorkloadKind::from_label(&value(&args, &mut i)).unwrap_or_else(|| usage())
+            }
+            "--ops" => opts.ops = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--fault" => opts.fault = parse_fault(&value(&args, &mut i)),
+            "--exhaustive" => opts.exhaustive = true,
+            "--max-cases" => {
+                opts.max_cases = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--sample-seed" => {
+                opts.sample_seed = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--lsb-bits" => {
+                opts.lsb_bits = Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--json" => opts.json = Some(value(&args, &mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut setup = SimSetup::new(opts.scheme, opts.workload, opts.ops, opts.seed);
+    if let Some(bits) = opts.lsb_bits {
+        setup.cfg.counter_lsb_bits = bits;
+        if let Err(msg) = setup.cfg.validate() {
+            eprintln!("invalid configuration: {msg}");
+            std::process::exit(2);
+        }
+    }
+    let plan = ExplorePlan {
+        setup,
+        fault: opts.fault,
+        exhaustive: opts.exhaustive,
+        max_cases: opts.max_cases,
+        sample_seed: opts.sample_seed,
+    };
+
+    eprintln!(
+        "exploring crash schedule: {} x {} ops under {} (fault: {})...",
+        opts.workload, opts.ops, opts.scheme, opts.fault
+    );
+    let report = explore(&plan);
+    print!("{}", report.summary_table());
+
+    if let Some(path) = &opts.json {
+        let json = report.to_json();
+        if path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        } else {
+            eprintln!("wrote JSON report to {path}");
+        }
+    }
+
+    if !report.clean() {
+        eprintln!("FAIL: silent corruption found");
+        std::process::exit(1);
+    }
+}

@@ -134,10 +134,22 @@ fn main() {
     println!("IPC:               {:.3}", report.ipc);
     println!("NVM reads:         {}", report.nvm.total_reads());
     println!("NVM writes:        {}", report.nvm.total_writes());
-    println!("  data:            {}", report.nvm.writes(star_nvm::AccessClass::Data));
-    println!("  metadata:        {}", report.nvm.writes(star_nvm::AccessClass::Metadata));
-    println!("  bitmap lines:    {}", report.nvm.writes(star_nvm::AccessClass::BitmapLine));
-    println!("  shadow table:    {}", report.nvm.writes(star_nvm::AccessClass::ShadowTable));
+    println!(
+        "  data:            {}",
+        report.nvm.writes(star_nvm::AccessClass::Data)
+    );
+    println!(
+        "  metadata:        {}",
+        report.nvm.writes(star_nvm::AccessClass::Metadata)
+    );
+    println!(
+        "  bitmap lines:    {}",
+        report.nvm.writes(star_nvm::AccessClass::BitmapLine)
+    );
+    println!(
+        "  shadow table:    {}",
+        report.nvm.writes(star_nvm::AccessClass::ShadowTable)
+    );
     println!("energy:            {:.2} uJ", report.energy_pj as f64 / 1e6);
     println!(
         "metadata cache:    {}/{} dirty ({:.1}%)",
@@ -170,7 +182,10 @@ fn main() {
         let geometry = image.geometry().clone();
         let node = geometry.node_at_flat(flat).expect("metadata");
         let attack = match kind.as_str() {
-            "tamper" => Attack::TamperLine { addr: geometry.line_of(node), xor_byte: 0x40 },
+            "tamper" => Attack::TamperLine {
+                addr: geometry.line_of(node),
+                xor_byte: 0x40,
+            },
             "bitmap" => Attack::TamperBitmap { meta_idx: flat },
             "replay" => {
                 // Roll back a child's synergized LSBs.
@@ -183,7 +198,10 @@ fn main() {
                         None => None,
                     })
                     .expect("node has children");
-                Attack::ReplayChildTuple { child_addr: child, lsb_delta: 1 }
+                Attack::ReplayChildTuple {
+                    child_addr: child,
+                    lsb_delta: 1,
+                }
             }
             _ => usage(),
         };

@@ -19,7 +19,12 @@ pub struct SchemeSweepRow {
 impl SchemeSweepRow {
     /// The report for `scheme`.
     pub fn report(&self, scheme: SchemeKind) -> &RunReport {
-        &self.reports.iter().find(|(s, _)| *s == scheme).expect("all schemes ran").1
+        &self
+            .reports
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .expect("all schemes ran")
+            .1
     }
 
     /// Total write traffic of `scheme` normalized to WB.
@@ -83,7 +88,10 @@ pub fn fig10(sweep: &[SchemeSweepRow]) -> Vec<Fig10Row> {
         .map(|row| Fig10Row {
             workload: row.workload,
             wb_writes: row.report(SchemeKind::WriteBack).total_writes(),
-            bitmap_writes: row.report(SchemeKind::Star).nvm.writes(AccessClass::BitmapLine),
+            bitmap_writes: row
+                .report(SchemeKind::Star)
+                .nvm
+                .writes(AccessClass::BitmapLine),
         })
         .collect()
 }
@@ -163,7 +171,10 @@ pub fn fig14b(cfg: &ExperimentConfig, cache_bytes: &[usize]) -> Vec<Fig14bRow> {
                 wl.run(cfg.ops, &mut mem);
                 let dirty = mem.dirty_metadata_count();
                 let mut image = mem.crash();
-                (dirty, star_core::recover(&mut image).expect("clean recovery"))
+                (
+                    dirty,
+                    star_core::recover(&mut image).expect("clean recovery"),
+                )
             };
             let (star_dirty, star) = crash(SchemeKind::Star);
             let (_, anubis) = crash(SchemeKind::Anubis);
@@ -250,12 +261,18 @@ mod tests {
     use super::*;
 
     fn quick() -> ExperimentConfig {
-        ExperimentConfig { ops: 400, ..Default::default() }
+        ExperimentConfig {
+            ops: 400,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn sweep_produces_all_cells() {
-        let cfg = ExperimentConfig { ops: 150, ..Default::default() };
+        let cfg = ExperimentConfig {
+            ops: 150,
+            ..Default::default()
+        };
         let sweep = scheme_sweep(&cfg);
         assert_eq!(sweep.len(), 7);
         for row in &sweep {
@@ -267,12 +284,18 @@ mod tests {
     #[test]
     fn anubis_doubles_and_star_stays_near_wb() {
         let cfg = quick();
-        let sweep: Vec<SchemeSweepRow> =
-            vec![scheme_sweep_row(WorkloadKind::Queue, &cfg), scheme_sweep_row(WorkloadKind::Ycsb, &cfg)];
+        let sweep: Vec<SchemeSweepRow> = vec![
+            scheme_sweep_row(WorkloadKind::Queue, &cfg),
+            scheme_sweep_row(WorkloadKind::Ycsb, &cfg),
+        ];
         for row in &sweep {
             let anubis = row.writes_vs_wb(SchemeKind::Anubis);
             let star = row.writes_vs_wb(SchemeKind::Star);
-            assert!((1.8..=2.2).contains(&anubis), "{}: anubis {anubis}", row.workload);
+            assert!(
+                (1.8..=2.2).contains(&anubis),
+                "{}: anubis {anubis}",
+                row.workload
+            );
             assert!(star < 1.3, "{}: star {star}", row.workload);
             assert!(star < anubis);
         }

@@ -1,6 +1,8 @@
 //! Workload × scheme execution harness.
 
-use star_core::{RecoveryError, RecoveryReport, RunReport, SchemeKind, SecureMemConfig, SecureMemory};
+use star_core::{
+    RecoveryError, RecoveryReport, RunReport, SchemeKind, SecureMemConfig, SecureMemory,
+};
 use star_workloads::{MultiThreaded, Workload, WorkloadKind};
 
 /// How one experiment run is configured.
@@ -19,7 +21,12 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { ops: 20_000, seed: 42, threads: 1, mem: SecureMemConfig::default() }
+        Self {
+            ops: 20_000,
+            seed: 42,
+            threads: 1,
+            mem: SecureMemConfig::default(),
+        }
     }
 }
 
@@ -82,7 +89,12 @@ pub fn run_and_crash(
     let dirty_lines = mem.dirty_metadata_count();
     let mut image = mem.crash();
     let recovery = star_core::recover(&mut image);
-    CrashOutcome { report, dirty_fraction, dirty_lines, recovery }
+    CrashOutcome {
+        report,
+        dirty_fraction,
+        dirty_lines,
+        recovery,
+    }
 }
 
 #[cfg(test)]
@@ -91,15 +103,24 @@ mod tests {
 
     #[test]
     fn same_trace_across_schemes() {
-        let cfg = ExperimentConfig { ops: 300, ..Default::default() };
+        let cfg = ExperimentConfig {
+            ops: 300,
+            ..Default::default()
+        };
         let wb = run_scheme(SchemeKind::WriteBack, WorkloadKind::Queue, &cfg);
         let star = run_scheme(SchemeKind::Star, WorkloadKind::Queue, &cfg);
-        assert_eq!(wb.instructions, star.instructions, "identical instruction stream");
+        assert_eq!(
+            wb.instructions, star.instructions,
+            "identical instruction stream"
+        );
     }
 
     #[test]
     fn crash_outcome_recovers_for_star() {
-        let cfg = ExperimentConfig { ops: 500, ..Default::default() };
+        let cfg = ExperimentConfig {
+            ops: 500,
+            ..Default::default()
+        };
         let out = run_and_crash(SchemeKind::Star, WorkloadKind::Array, &cfg);
         let rec = out.recovery.expect("attack-free recovery succeeds");
         assert!(rec.correct);

@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod paper;
 
 pub use harness::{run_scheme, CrashOutcome, ExperimentConfig};

@@ -1,0 +1,254 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace must build with no registry access, so the benches
+//! cannot depend on Criterion. This module provides the small slice of
+//! Criterion's API the bench binaries actually use (`bench_function`,
+//! `benchmark_group`/`bench_with_input`, `iter`, `iter_batched`),
+//! measured with [`std::time::Instant`]: per sample the closure is run
+//! in a calibrated batch, and the median over all samples is reported
+//! as ns/iter. It is deliberately simple — no outlier analysis, no
+//! state persistence — but stable enough to compare hot paths
+//! release-to-release.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Target wall time for one sample batch.
+const TARGET_SAMPLE_NS: u128 = 10_000_000; // 10 ms
+
+/// Top-level harness; create one in `main` and feed it bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id, e.g. `bitmap/set_striding/16`.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations timed across all samples.
+    pub iterations: u64,
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name` with the default sample count.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(DEFAULT_SAMPLE_SIZE);
+        f(&mut b);
+        self.record(name.to_string(), &b);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it are reported as `name/param`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    fn record(&mut self, name: String, b: &Bencher) {
+        let r = b.result(name);
+        println!(
+            "{:<44} {:>12.1} ns/iter (median of {} samples)",
+            r.name,
+            r.median_ns,
+            b.samples.len()
+        );
+        self.results.push(r);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a closing summary table.
+    pub fn report(&self) {
+        println!(
+            "\n{} benchmarks, all timings are medians.",
+            self.results.len()
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs `f` with `input`, reported as `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.record(full, &b);
+        self
+    }
+
+    /// Ends the group (kept for call-site compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark id within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the group's input parameter.
+    pub fn from_parameter(p: impl Display) -> Self {
+        Self(p.to_string())
+    }
+}
+
+/// How `iter_batched` amortizes setup (kept for call-site compatibility;
+/// the harness always runs setup once per measured call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup produces a small value.
+    SmallInput,
+    /// Setup produces a large value.
+    LargeInput,
+}
+
+/// Passed to bench closures; owns the timing loop.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<(u128, u64)>, // (elapsed ns, iterations)
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `f`, batching calls so each sample lasts ~10 ms.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: how many calls fit in one sample window?
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed().as_nanos().max(1);
+        let batch = ((TARGET_SAMPLE_NS / one).clamp(1, 1_000_000)) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push((start.elapsed().as_nanos(), batch));
+        }
+    }
+
+    /// Times `routine` on fresh values from `setup`; setup time is
+    /// excluded from the measurement. Each sample is a single call (the
+    /// setups here are expensive relative to the routine's variance).
+    pub fn iter_batched<S, O, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((start.elapsed().as_nanos(), 1));
+        }
+    }
+
+    fn result(&self, name: String) -> BenchResult {
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|&(ns, iters)| ns as f64 / iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = if per_iter.is_empty() {
+            0.0
+        } else {
+            per_iter[per_iter.len() / 2]
+        };
+        let mean = if per_iter.is_empty() {
+            0.0
+        } else {
+            per_iter.iter().sum::<f64>() / per_iter.len() as f64
+        };
+        BenchResult {
+            name,
+            median_ns: median,
+            mean_ns: mean,
+            iterations: self.samples.iter().map(|s| s.1).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_positive_and_recorded() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        let r = &c.results()[0];
+        assert_eq!(r.name, "smoke/add");
+        assert!(r.median_ns >= 0.0);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_respect_sample_size() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &v| {
+                b.iter(|| v * 2)
+            });
+            g.bench_with_input(BenchmarkId::from_parameter("x"), &1u64, |b, &v| {
+                b.iter_batched(|| v, |v| v + 1, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results()[0].name, "g/42");
+        assert_eq!(c.results()[1].name, "g/x");
+    }
+}

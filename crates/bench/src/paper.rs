@@ -30,13 +30,8 @@ pub const FIG13_STAR_OVERHEAD: f64 = 0.04;
 pub const FIG13_ANUBIS_OVERHEAD: f64 = 0.46;
 
 /// Table II: ADR bitmap-line hit ratios for 2/4/8/16/32 lines (%).
-pub const TABLE2_HIT_RATIOS: [(usize, f64); 5] = [
-    (2, 32.85),
-    (4, 47.44),
-    (8, 64.37),
-    (16, 74.75),
-    (32, 82.19),
-];
+pub const TABLE2_HIT_RATIOS: [(usize, f64); 5] =
+    [(2, 32.85), (4, 47.44), (8, 64.37), (16, 74.75), (32, 82.19)];
 
 /// Fig. 14a: fraction of the metadata cache dirty at crash time.
 pub const FIG14A_DIRTY_FRACTION: f64 = 0.78;

@@ -31,7 +31,10 @@ pub struct StEntry {
 impl StEntry {
     /// Builds the entry for `node` at `flat_idx`.
     pub fn new(flat_idx: u64, node: &Node64) -> Self {
-        Self { flat_idx, counters: *node.counters() }
+        Self {
+            flat_idx,
+            counters: *node.counters(),
+        }
     }
 
     /// Serializes into one 64-byte line.
@@ -57,7 +60,10 @@ impl StEntry {
             buf[..7].copy_from_slice(&bytes[8 + 7 * i..8 + 7 * i + 7]);
             *c = u64::from_le_bytes(buf) & COUNTER_MASK;
         }
-        Some(Self { flat_idx: tagged & !VALID_TAG, counters })
+        Some(Self {
+            flat_idx: tagged & !VALID_TAG,
+            counters,
+        })
     }
 }
 
@@ -75,7 +81,11 @@ pub struct StSlotMap {
 impl StSlotMap {
     /// Creates a slot map with `capacity` slots (= metadata cache lines).
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, by_node: HashMap::new(), free: (0..capacity).rev().collect() }
+        Self {
+            capacity,
+            by_node: HashMap::new(),
+            free: (0..capacity).rev().collect(),
+        }
     }
 
     /// Number of slots.
@@ -149,7 +159,10 @@ mod tests {
             node.set_counter(i, COUNTER_MASK);
         }
         let e = StEntry::new(0, &node);
-        assert_eq!(StEntry::from_line(&e.to_line()).unwrap().counters, [COUNTER_MASK; 8]);
+        assert_eq!(
+            StEntry::from_line(&e.to_line()).unwrap().counters,
+            [COUNTER_MASK; 8]
+        );
     }
 
     #[test]

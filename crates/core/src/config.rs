@@ -155,7 +155,9 @@ mod tests {
 
     #[test]
     fn small_config_is_valid() {
-        SecureMemConfig::small().validate().expect("small config valid");
+        SecureMemConfig::small()
+            .validate()
+            .expect("small config valid");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::anubis::{StEntry, StSlotMap};
 use crate::config::{SchemeKind, SecureMemConfig};
+use crate::persist::{CrashRequested, PersistPoint, PersistPointKind};
 use crate::recovery::CrashImage;
 use crate::star::bitmap::{BitmapLayout, BitmapStats, MultiLayerBitmap};
 use crate::star::cache_tree;
@@ -34,7 +35,7 @@ use star_crypto::ctr::one_time_pad;
 use star_crypto::mac::MacKey;
 use star_mem::{CacheHierarchy, MemEvent, MemSideOp, SetAssocCache, SimpleCore, TraceSink};
 use star_metadata::{DataLine, MacField, Node64, NodeId, SitGeometry, SitMac};
-use star_nvm::{AccessClass, LineAddr, NvmDevice, NvmStats};
+use star_nvm::{AccessClass, LineAddr, NvmDevice, NvmStats, WriteJournal};
 use std::collections::HashMap;
 
 /// A metadata node resident in the metadata cache, with the per-slot
@@ -48,7 +49,10 @@ struct CachedNode {
 
 impl CachedNode {
     fn clean(node: Node64) -> Self {
-        Self { node, inc_since_clean: [0; 8] }
+        Self {
+            node,
+            inc_since_clean: [0; 8],
+        }
     }
 }
 
@@ -91,6 +95,11 @@ pub struct SecureMemory {
     integrity_violations: u64,
     mac_computations: u64,
     ops_buf: Vec<MemSideOp>,
+    /// Fault-injection instrumentation (crate::persist); all off by
+    /// default, so the timing model and figures are unaffected.
+    persist_seq: u64,
+    persist_log: Option<Vec<PersistPoint>>,
+    crash_at: Option<u64>,
 }
 
 impl SecureMemory {
@@ -145,6 +154,9 @@ impl SecureMemory {
             integrity_violations: 0,
             mac_computations: 0,
             ops_buf: Vec::new(),
+            persist_seq: 0,
+            persist_log: None,
+            crash_at: None,
             cfg,
         })
     }
@@ -273,6 +285,102 @@ impl SecureMemory {
     }
 
     // ------------------------------------------------------------------
+    // Fault-injection instrumentation (see crate::persist).
+    // ------------------------------------------------------------------
+
+    /// Starts recording every persist point (see
+    /// [`PersistPoint`](crate::persist::PersistPoint)). Off by default.
+    pub fn enable_persist_log(&mut self) {
+        self.persist_log = Some(Vec::new());
+    }
+
+    /// The recorded persist schedule (empty when logging is off).
+    pub fn persist_log(&self) -> &[PersistPoint] {
+        self.persist_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Persist points committed so far (counted even when logging is off).
+    pub fn persist_points(&self) -> u64 {
+        self.persist_seq
+    }
+
+    /// Arms a crash at persist point `seq` (1-based): reaching it raises a
+    /// [`CrashRequested`](crate::persist::CrashRequested) panic that a
+    /// fault driver catches with `catch_unwind` before calling
+    /// [`SecureMemory::crash`] on the engine it kept outside the closure.
+    pub fn arm_crash_at(&mut self, seq: u64) {
+        self.crash_at = Some(seq);
+    }
+
+    /// Disarms a previously armed crash point.
+    pub fn disarm_crash(&mut self) {
+        self.crash_at = None;
+    }
+
+    /// Enables the device-level write journal (pre-images + queue
+    /// retirement times) with the given ring capacity. Off by default.
+    pub fn enable_write_journal(&mut self, capacity: usize) {
+        self.nvm.enable_journal(capacity);
+    }
+
+    /// The device write journal, if enabled.
+    pub fn write_journal(&self) -> Option<&WriteJournal> {
+        self.nvm.journal()
+    }
+
+    /// Current simulated time in picoseconds (the write-queue clock the
+    /// journal's retirement times are measured against).
+    pub fn now_ps(&self) -> u64 {
+        self.now()
+    }
+
+    /// Boots a fresh engine from a (typically recovered) crash image: NVM
+    /// is the image's store and the on-chip SIT root register survives,
+    /// while all volatile state (CPU caches, metadata cache, core clock)
+    /// starts cold. The scheme's scratch regions — the bitmap recovery
+    /// area and the shadow table — are reinitialized to zero, as a
+    /// rebooting controller would before resuming service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` describes a different data-region geometry than the
+    /// crashed engine's.
+    pub fn resume_from_image(image: &CrashImage, cfg: SecureMemConfig) -> Self {
+        let mut m = Self::new(image.scheme(), cfg);
+        assert_eq!(
+            m.geometry.total_meta_lines(),
+            image.geometry().total_meta_lines(),
+            "resume config must match the crashed engine's geometry"
+        );
+        *m.nvm.store_mut() = image.store.clone();
+        m.root = image.root_register;
+        for l in image.recovery_area().chain(image.shadow_table()) {
+            m.nvm
+                .store_mut()
+                .write(LineAddr::new(l), star_nvm::Line::ZERO);
+        }
+        m
+    }
+
+    /// Commits one persist point: bumps the sequence, records it when
+    /// logging, and raises the crash panic when armed for this point.
+    fn persist_point(&mut self, kind: PersistPointKind) {
+        self.persist_seq += 1;
+        if let Some(log) = self.persist_log.as_mut() {
+            log.push(PersistPoint {
+                seq: self.persist_seq,
+                kind,
+            });
+        }
+        if self.crash_at == Some(self.persist_seq) {
+            std::panic::panic_any(CrashRequested {
+                seq: self.persist_seq,
+                kind,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Memory-side processing.
     // ------------------------------------------------------------------
 
@@ -294,7 +402,9 @@ impl SecureMemory {
     /// LLC miss: read, verify and decrypt a data line from NVM.
     fn secure_data_fill(&mut self, line: u64) -> u64 {
         assert!(line < self.cfg.data_lines, "data line out of range");
-        let read = self.nvm.read(LineAddr::new(line), AccessClass::Data, self.now());
+        let read = self
+            .nvm
+            .read(LineAddr::new(line), AccessClass::Data, self.now());
         self.core.stall_read_ps(read.latency_ps);
         if read.data.is_zero() {
             return 0; // never written: initialization convention
@@ -303,7 +413,10 @@ impl SecureMemory {
         let (cb, slot) = self.geometry.parent_of_data(line);
         self.ensure_cached(cb);
         let counter = self.cached_node(cb).node.counter(slot);
-        if !self.mac.verify_data(line, dl.payload(), counter, dl.mac_field()) {
+        if !self
+            .mac
+            .verify_data(line, dl.payload(), counter, dl.mac_field())
+        {
             self.integrity_violations += 1;
             panic!("integrity violation reading data line {line}");
         }
@@ -343,17 +456,34 @@ impl SecureMemory {
         let mac = self.mac.data_mac(line, dl.payload(), counter, lsb);
         dl.set_mac_field(MacField::new(mac, lsb));
 
-        let w = self.nvm.write(LineAddr::new(line), dl.to_line(), AccessClass::Data, self.now());
+        let w = self.nvm.write(
+            LineAddr::new(line),
+            dl.to_line(),
+            AccessClass::Data,
+            self.now(),
+        );
         self.core.stall_write_ps(w.stall_ps);
 
         match self.scheme {
-            SchemeKind::Strict => self.strict_persist_chain(cb),
+            SchemeKind::Strict => {
+                // Strict commits the data line first, then persists the
+                // branch node by node: a crash between chain nodes sees
+                // the new data, but reads of it fail verification until
+                // the chain completes (detectable, never silent).
+                self.persist_point(PersistPointKind::DataLineCommit { line, version });
+                self.strict_persist_chain(cb);
+            }
             _ => {
                 self.anubis_st_write(cb_flat);
                 self.mark_node_dirty(cb_flat);
                 if self.cfg.eager_updates {
                     self.eager_propagate(cb);
                 }
+                // The commit point of the whole transaction: data line in
+                // the WPQ, counter bumped in the cache, dirty-tracking
+                // hook (bitmap bit / ST entry) done — all atomic under
+                // the ADR assumption.
+                self.persist_point(PersistPointKind::DataLineCommit { line, version });
             }
         }
         self.drain_forced_flushes();
@@ -391,7 +521,9 @@ impl SecureMemory {
     }
 
     fn cached_node(&self, node: NodeId) -> &CachedNode {
-        self.meta_cache.peek(self.geometry.flat_index(node)).expect("node must be cached")
+        self.meta_cache
+            .peek(self.geometry.flat_index(node))
+            .expect("node must be cached")
     }
 
     /// The current counter covering `node`, from its parent (or the root
@@ -402,7 +534,9 @@ impl SecureMemory {
             None => self.root.counter(node.index as usize),
             Some(p) => {
                 self.ensure_cached(p);
-                self.cached_node(p).node.counter(self.geometry.parent_slot(node))
+                self.cached_node(p)
+                    .node
+                    .counter(self.geometry.parent_slot(node))
             }
         }
     }
@@ -453,14 +587,21 @@ impl SecureMemory {
             return;
         }
         let pc = self.parent_counter(node);
-        let read = self.nvm.read(self.geometry.line_of(node), AccessClass::Metadata, self.now());
+        let read = self.nvm.read(
+            self.geometry.line_of(node),
+            AccessClass::Metadata,
+            self.now(),
+        );
         self.core.stall_read_ps(read.latency_ps);
         let n = if read.data.is_zero() {
             // Never-initialized node: all-zero counters, by convention.
             Node64::zeroed()
         } else {
             let n = Node64::from_line(&read.data);
-            if !self.mac.verify_node(self.geometry.line_of(node).index(), &n, pc) {
+            if !self
+                .mac
+                .verify_node(self.geometry.line_of(node).index(), &n, pc)
+            {
                 self.integrity_violations += 1;
                 let diag: Vec<i64> = (-4i64..=4)
                     .filter(|d| {
@@ -536,7 +677,10 @@ impl SecureMemory {
     /// Marks a cached node dirty, running the scheme's dirty-transition
     /// hook on a clean→dirty edge (STAR: set the bitmap bit).
     fn mark_node_dirty(&mut self, flat: u64) {
-        let was = self.meta_cache.set_dirty(flat, true).expect("node must be cached");
+        let was = self
+            .meta_cache
+            .set_dirty(flat, true)
+            .expect("node must be cached");
         if !was {
             if let Some(bitmap) = self.bitmap.as_mut() {
                 let stall = bitmap.set(flat, &mut self.nvm, self.core.now_ps());
@@ -563,8 +707,12 @@ impl SecureMemory {
         let (pc_new, parent_flat) = self.bump_parent_counter(node);
         let lsb = self.synergized_lsb(pc_new);
         self.mac_computations += 1;
-        let mac =
-            self.mac.node_mac(self.geometry.line_of(node).index(), cn.node.counters(), pc_new, lsb);
+        let mac = self.mac.node_mac(
+            self.geometry.line_of(node).index(),
+            cn.node.counters(),
+            pc_new,
+            lsb,
+        );
         cn.node.set_mac_field(MacField::new(mac, lsb));
         let w = self.nvm.write(
             self.geometry.line_of(node),
@@ -586,6 +734,7 @@ impl SecureMemory {
             // snapshotting the written node itself.
             self.anubis_st_write(flat);
         }
+        self.persist_point(PersistPointKind::NodeWriteback { flat });
     }
 
     /// Increments the counter covering `node` in its parent (or the root
@@ -646,20 +795,41 @@ impl SecureMemory {
         let node = self.geometry.node_at_flat(flat).expect("metadata address");
         // Fetching the parent chain must not evict the node being flushed.
         self.pins.push(flat);
+        // Bring the parent in *before* bumping: when pin pressure exceeds
+        // the associativity, this fetch can evict `flat` despite the pin —
+        // in which case its eviction write-back has already persisted it
+        // (with its own parent bump) and there is nothing left to flush.
+        if let Some(p) = self.geometry.parent(node) {
+            self.ensure_cached(p);
+        }
+        if !self.meta_cache.touch(flat) || !self.meta_cache.is_dirty(flat) {
+            self.pins.pop();
+            return;
+        }
         let (pc_new, parent_flat) = self.bump_parent_counter(node);
         self.pins.pop();
         let lsb = self.synergized_lsb(pc_new);
-        self.meta_cache.get_mut(flat).expect("cached").inc_since_clean = [0; 8];
+        self.meta_cache
+            .get_mut(flat)
+            .expect("cached")
+            .inc_since_clean = [0; 8];
         // Recompute the MAC with the freshly bumped parent counter.
         let counters = *self.meta_cache.peek(flat).expect("cached").node.counters();
         self.mac_computations += 1;
-        let mac = self.mac.node_mac(self.geometry.line_of(node).index(), &counters, pc_new, lsb);
+        let mac = self
+            .mac
+            .node_mac(self.geometry.line_of(node).index(), &counters, pc_new, lsb);
         {
             let cn = self.meta_cache.get_mut(flat).expect("cached");
             cn.node.set_mac_field(MacField::new(mac, lsb));
         }
         let line = self.meta_cache.peek(flat).expect("cached").node.to_line();
-        let w = self.nvm.write(self.geometry.line_of(node), line, AccessClass::Metadata, self.now());
+        let w = self.nvm.write(
+            self.geometry.line_of(node),
+            line,
+            AccessClass::Metadata,
+            self.now(),
+        );
         self.core.stall_write_ps(w.stall_ps);
         self.meta_cache.set_dirty(flat, false);
         self.on_node_clean(flat);
@@ -667,12 +837,15 @@ impl SecureMemory {
             self.anubis_st_write(pf);
             self.mark_node_dirty(pf);
         }
+        self.persist_point(PersistPointKind::ForcedFlush { flat });
     }
 
     /// Anubis hook: one shadow-table write per memory write, snapshotting
     /// the dirty node `target_flat`.
     fn anubis_st_write(&mut self, target_flat: u64) {
-        let Some(st) = self.st_slots.as_mut() else { return };
+        let Some(st) = self.st_slots.as_mut() else {
+            return;
+        };
         let slot = st.slot_for(target_flat);
         let node = self
             .meta_cache
@@ -681,7 +854,9 @@ impl SecureMemory {
             .unwrap_or_else(Node64::zeroed);
         let entry = StEntry::new(target_flat, &node);
         let addr = LineAddr::new(self.st_base + slot as u64);
-        let w = self.nvm.write(addr, entry.to_line(), AccessClass::ShadowTable, self.now());
+        let w = self
+            .nvm
+            .write(addr, entry.to_line(), AccessClass::ShadowTable, self.now());
         self.core.stall_write_ps(w.stall_ps);
     }
 
@@ -699,7 +874,8 @@ impl SecureMemory {
             let mac = {
                 let counters = *self.meta_cache.peek(flat).expect("cached").node.counters();
                 self.mac_computations += 1;
-                self.mac.node_mac(self.geometry.line_of(n).index(), &counters, pc_new, 0)
+                self.mac
+                    .node_mac(self.geometry.line_of(n).index(), &counters, pc_new, 0)
             };
             {
                 let cn = self.meta_cache.get_mut(flat).expect("cached");
@@ -707,10 +883,15 @@ impl SecureMemory {
                 cn.inc_since_clean = [0; 8];
             }
             let line = self.meta_cache.peek(flat).expect("cached").node.to_line();
-            let w =
-                self.nvm.write(self.geometry.line_of(n), line, AccessClass::Metadata, self.now());
+            let w = self.nvm.write(
+                self.geometry.line_of(n),
+                line,
+                AccessClass::Metadata,
+                self.now(),
+            );
             self.core.stall_write_ps(w.stall_ps);
             self.meta_cache.set_dirty(flat, false);
+            self.persist_point(PersistPointKind::StrictChainNode { flat });
             cur = self.geometry.parent(n);
         }
     }
@@ -724,21 +905,24 @@ impl SecureMemory {
     /// non-volatile registers (SIT root, bitmap top layer, cache-tree
     /// root) survive. Returns the [`CrashImage`] recovery operates on.
     pub fn crash(mut self) -> CrashImage {
-        debug_assert!(
-            self.pending_writebacks.is_empty(),
-            "write-back queue drains before any public operation returns"
-        );
         // Battery flush of the ADR-resident bitmap lines.
         if let Some(bitmap) = &self.bitmap {
             bitmap.crash_flush(self.nvm.store_mut());
         }
         // Ground truth: what the dirty metadata looked like in the cache.
+        // A crash injected mid-operation can land between a dirty
+        // victim's eviction and its write-back — those owned values are
+        // dirty state the controller still held (their bitmap bits / ST
+        // slots are still live, cleared only after the write completes).
         let mut ground_truth = HashMap::new();
         let mut dirty_entries = Vec::new();
         for (flat, dirty, cn) in self.meta_cache.iter() {
             if dirty {
                 ground_truth.insert(flat, *cn.node.counters());
             }
+        }
+        for (flat, cn) in &self.pending_writebacks {
+            ground_truth.insert(*flat, *cn.node.counters());
         }
         // The cache-tree root over the dirty nodes' current MACs (paper
         // Fig. 9). MACs are derived from the canonical rule: parent
@@ -748,7 +932,9 @@ impl SecureMemory {
             let node = self.geometry.node_at_flat(flat).expect("metadata");
             let pc = self.current_parent_counter_unsynced(node);
             let lsb = self.synergized_lsb(pc);
-            let mac = self.mac.node_mac(self.geometry.line_of(node).index(), counters, pc, lsb);
+            let mac = self
+                .mac
+                .node_mac(self.geometry.line_of(node).index(), counters, pc, lsb);
             dirty_entries.push((flat, MacField::new(mac, lsb).bits()));
         }
         let cache_tree_root = (self.scheme == SchemeKind::Star)
@@ -798,13 +984,14 @@ impl SecureMemory {
             Some(p) => {
                 let pf = self.geometry.flat_index(p);
                 let slot = self.geometry.parent_slot(node);
-                match self.meta_cache.peek(pf) {
-                    Some(cn) => cn.node.counter(slot),
-                    None => {
-                        Node64::from_line(&self.nvm.store().read(self.geometry.line_of(p)))
-                            .counter(slot)
-                    }
+                if let Some(cn) = self.meta_cache.peek(pf) {
+                    return cn.node.counter(slot);
                 }
+                // Evicted-but-unwritten victims still own the live value.
+                if let Some((_, cn)) = self.pending_writebacks.iter().find(|(f, _)| *f == pf) {
+                    return cn.node.counter(slot);
+                }
+                Node64::from_line(&self.nvm.store().read(self.geometry.line_of(p))).counter(slot)
             }
         }
     }
@@ -952,7 +1139,11 @@ mod tests {
             m.write_data(line, i);
             m.persist_data(line);
         }
-        assert!(m.dirty_metadata_fraction() > 0.3, "{}", m.dirty_metadata_fraction());
+        assert!(
+            m.dirty_metadata_fraction() > 0.3,
+            "{}",
+            m.dirty_metadata_fraction()
+        );
     }
 
     #[test]
@@ -973,7 +1164,10 @@ mod tests {
             m.write_data(0, i);
             m.persist_data(0);
         }
-        assert!(m.report().forced_flushes > 0, "2-bit window must force flushes");
+        assert!(
+            m.report().forced_flushes > 0,
+            "2-bit window must force flushes"
+        );
         assert_eq!(m.read_data(0), 63);
     }
 

@@ -41,12 +41,14 @@ pub mod anubis;
 pub mod config;
 pub mod engine;
 pub mod osiris;
+pub mod persist;
 pub mod recovery;
 pub mod star;
 pub mod stats;
 pub mod triad;
 
-pub use config::{SecureMemConfig, SchemeKind};
+pub use config::{SchemeKind, SecureMemConfig};
 pub use engine::SecureMemory;
+pub use persist::{CrashRequested, PersistPoint, PersistPointKind};
 pub use recovery::{recover, Attack, CrashImage, RecoveryError, RecoveryReport};
 pub use stats::RunReport;

@@ -95,7 +95,10 @@ mod tests {
         let payload = [7u8; 56];
         let tag = m.data_mac(5, &payload, 100 + DEFAULT_STOP_LOSS + 1, 0);
         let stored = MacField::new(tag, 0);
-        assert_eq!(recover_data_counter(&m, 5, &payload, stored, 100, DEFAULT_STOP_LOSS), None);
+        assert_eq!(
+            recover_data_counter(&m, 5, &payload, stored, 100, DEFAULT_STOP_LOSS),
+            None
+        );
     }
 
     /// The §II-E argument, concretely: an SIT node's MAC verifies against

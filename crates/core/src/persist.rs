@@ -1,0 +1,83 @@
+//! Persist-point instrumentation of the engine's durable transitions.
+//!
+//! The controller performs each durable state change as a small
+//! *transaction*: the NVM line write together with the on-controller
+//! bookkeeping that the paper's ADR/WPQ assumptions make atomic with it
+//! (counter bump in the metadata cache, bitmap-bit set in ADR, shadow-
+//! table write entering the WPQ). A **persist point** is the commit
+//! boundary of one such transaction — the only instants a power failure
+//! can actually observe, because writes accepted into the ADR-protected
+//! write-pending queue are durable by assumption.
+//!
+//! [`SecureMemory`](crate::SecureMemory) numbers these points with a
+//! monotonically increasing sequence and can
+//!
+//! * log them ([`SecureMemory::enable_persist_log`]) so a schedule
+//!   explorer learns the schedule of a (workload, scheme, seed) run, and
+//! * crash at point *k* ([`SecureMemory::arm_crash_at`]) by raising a
+//!   typed panic ([`CrashRequested`]) the `star-faultsim` driver catches
+//!   with `catch_unwind` before snapshotting the [`CrashImage`]
+//!   (crate::recovery::CrashImage).
+//!
+//! Both are off by default: the hot path pays one branch per commit and
+//! the timing model is untouched, so figures regenerated with hooks
+//! disabled are identical to the seed's.
+//!
+//! Faults *below* the commit granularity (a torn 64-byte line, writes
+//! dropped from a non-ADR write queue) are modeled in `star-nvm`'s
+//! [`WriteJournal`](star_nvm::WriteJournal), which records pre-images and
+//! queue-retirement times for every device write.
+
+/// What kind of durable transition a persist point commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistPointKind {
+    /// A user-data line write committed, together with its parent-counter
+    /// bump and the scheme's dirty-tracking hook (STAR bitmap bit /
+    /// Anubis shadow-table entry).
+    DataLineCommit {
+        /// User-data line index.
+        line: u64,
+        /// Program-visible version stored by this write.
+        version: u64,
+    },
+    /// An evicted dirty metadata node was persisted (lazy write-back).
+    NodeWriteback {
+        /// Flat metadata index of the written node.
+        flat: u64,
+    },
+    /// A node whose counter-LSB window was exhausted was flushed in
+    /// place (STAR's forced flush, paper §III-B).
+    ForcedFlush {
+        /// Flat metadata index of the flushed node.
+        flat: u64,
+    },
+    /// One node of a strict write-through persist chain was written.
+    /// Strict commits per line, not per branch, so a crash between two
+    /// chain nodes is observable (and must never be *silent*).
+    StrictChainNode {
+        /// Flat metadata index of the written node.
+        flat: u64,
+    },
+}
+
+/// A numbered persist point (sequence numbers start at 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistPoint {
+    /// Position in the run's persist schedule.
+    pub seq: u64,
+    /// The committed transition.
+    pub kind: PersistPointKind,
+}
+
+/// Panic payload raised when an armed crash point is reached.
+///
+/// `star-faultsim` catches this with `std::panic::catch_unwind`, takes
+/// the engine (left in the exact mid-run state the crash observed) and
+/// converts it into a [`CrashImage`](crate::recovery::CrashImage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRequested {
+    /// The persist point at which the crash fired.
+    pub seq: u64,
+    /// The transition that committed at that point.
+    pub kind: PersistPointKind,
+}

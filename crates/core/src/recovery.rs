@@ -99,6 +99,18 @@ impl CrashImage {
         &self.geometry
     }
 
+    /// The NVM line range of the bitmap recovery area (scheme scratch
+    /// state, reinitialized on reboot).
+    pub fn recovery_area(&self) -> core::ops::Range<u64> {
+        self.geometry.meta_end()..self.st_base
+    }
+
+    /// The NVM line range of the Anubis shadow table (empty-by-convention
+    /// zero lines under other schemes).
+    pub fn shadow_table(&self) -> core::ops::Range<u64> {
+        self.st_base..self.st_base + self.st_lines as u64
+    }
+
     /// Number of dirty (stale-in-NVM) metadata nodes at crash time.
     pub fn stale_node_count(&self) -> usize {
         self.ground_truth.len()
@@ -128,7 +140,10 @@ impl CrashImage {
             Attack::ReplayLine { addr, old } => {
                 self.store.write(*addr, *old);
             }
-            Attack::ReplayChildTuple { child_addr, lsb_delta } => {
+            Attack::ReplayChildTuple {
+                child_addr,
+                lsb_delta,
+            } => {
                 // Replace the child's persisted (content, MAC, LSBs) with
                 // a *consistent-looking* older tuple: in the model this is
                 // approximated by rolling the stored LSBs back, which is
@@ -243,7 +258,10 @@ impl core::fmt::Display for RecoveryError {
                 write!(f, "scheme {s} does not support recovery")
             }
             RecoveryError::AttackDetected { .. } => {
-                write!(f, "attack detected during recovery: cache-tree root mismatch")
+                write!(
+                    f,
+                    "attack detected during recovery: cache-tree root mismatch"
+                )
             }
         }
     }
@@ -296,7 +314,10 @@ fn child_lsb(store: &LineStore, addr: LineAddr, is_data: bool) -> u16 {
 }
 
 fn star_recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError> {
-    let layout = image.bitmap_layout.as_ref().expect("STAR always has a bitmap");
+    let layout = image
+        .bitmap_layout
+        .as_ref()
+        .expect("STAR always has a bitmap");
     let geometry = image.geometry.clone();
     let mut reads: u64 = 0;
 
@@ -307,7 +328,9 @@ fn star_recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError>
     //    eight children's MAC fields.
     let mut restored: HashMap<u64, Node64> = HashMap::with_capacity(stale.len());
     for &flat in &stale {
-        let node_id = geometry.node_at_flat(flat).expect("bitmap covers metadata only");
+        let node_id = geometry
+            .node_at_flat(flat)
+            .expect("bitmap covers metadata only");
         reads += 1; // the stale node itself
         let stale_node = Node64::from_line(&image.store.read(geometry.line_of(node_id)));
         let mut out = Node64::zeroed();
@@ -345,25 +368,33 @@ fn star_recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError>
                 let slot = geometry.parent_slot(node_id);
                 match restored.get(&pf) {
                     Some(n) => n.counter(slot),
-                    None => {
-                        Node64::from_line(&image.store.read(geometry.line_of(p))).counter(slot)
-                    }
+                    None => Node64::from_line(&image.store.read(geometry.line_of(p))).counter(slot),
                 }
             }
         };
         let lsb = (pc & lsb_mask) as u16;
         let counters = *restored.get(&flat).expect("present").counters();
-        let mac = image.mac.node_mac(geometry.line_of(node_id).index(), &counters, pc, lsb);
+        let mac = image
+            .mac
+            .node_mac(geometry.line_of(node_id).index(), &counters, pc, lsb);
         let field = MacField::new(mac, lsb);
-        restored.get_mut(&flat).expect("present").set_mac_field(field);
+        restored
+            .get_mut(&flat)
+            .expect("present")
+            .set_mac_field(field);
         entries.push((flat, field.bits()));
     }
 
     // 4. Verify the recovery with the cache-tree.
     let recomputed = cache_tree::root_from_dirty(&entries, image.num_cache_sets);
-    let expected = image.cache_tree_root.expect("STAR stores a cache-tree root");
+    let expected = image
+        .cache_tree_root
+        .expect("STAR stores a cache-tree root");
     if recomputed != expected {
-        return Err(RecoveryError::AttackDetected { expected, recomputed });
+        return Err(RecoveryError::AttackDetected {
+            expected,
+            recomputed,
+        });
     }
 
     // 5. Write the restored nodes back.
@@ -382,7 +413,10 @@ fn star_recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError>
             _ => mismatches += 1,
         }
     }
-    mismatches += restored.keys().filter(|f| !image.ground_truth.contains_key(f)).count();
+    mismatches += restored
+        .keys()
+        .filter(|f| !image.ground_truth.contains_key(f))
+        .count();
 
     Ok(RecoveryReport {
         scheme: SchemeKind::Star,
@@ -417,7 +451,9 @@ fn anubis_recover(image: &mut CrashImage) -> RecoveryReport {
     // unnecessary: MAC inputs use the restored map with NVM fallback).
     let mut restored: HashMap<u64, Node64> = HashMap::new();
     for (&flat, counters) in &merged {
-        let node_id = geometry.node_at_flat(flat).expect("ST holds metadata indices");
+        let node_id = geometry
+            .node_at_flat(flat)
+            .expect("ST holds metadata indices");
         reads += 1; // read the stale node (for parity with the paper's model)
         let mut node = Node64::from_line(&image.store.read(geometry.line_of(node_id)));
         for (slot, &counter) in counters.iter().enumerate() {
@@ -438,18 +474,22 @@ fn anubis_recover(image: &mut CrashImage) -> RecoveryReport {
                 let slot = geometry.parent_slot(node_id);
                 match restored.get(&pf) {
                     Some(n) => n.counter(slot),
-                    None => {
-                        Node64::from_line(&image.store.read(geometry.line_of(p))).counter(slot)
-                    }
+                    None => Node64::from_line(&image.store.read(geometry.line_of(p))).counter(slot),
                 }
             }
         };
         let counters = *restored.get(&flat).expect("present").counters();
-        let mac = image.mac.node_mac(geometry.line_of(node_id).index(), &counters, pc, 0);
-        restored.get_mut(&flat).expect("present").set_mac_field(MacField::from_mac(mac));
-        image
-            .store
-            .write(geometry.line_of(node_id), restored.get(&flat).expect("present").to_line());
+        let mac = image
+            .mac
+            .node_mac(geometry.line_of(node_id).index(), &counters, pc, 0);
+        restored
+            .get_mut(&flat)
+            .expect("present")
+            .set_mac_field(MacField::from_mac(mac));
+        image.store.write(
+            geometry.line_of(node_id),
+            restored.get(&flat).expect("present").to_line(),
+        );
         writes += 1;
     }
 
@@ -542,7 +582,10 @@ mod tests {
         let flat = *image.ground_truth.keys().next().expect("dirty nodes exist");
         let node_id = image.geometry().node_at_flat(flat).unwrap();
         let addr = image.geometry().line_of(node_id);
-        image.apply_attack(&Attack::TamperLine { addr, xor_byte: 0x40 });
+        image.apply_attack(&Attack::TamperLine {
+            addr,
+            xor_byte: 0x40,
+        });
         match recover(&mut image) {
             Err(RecoveryError::AttackDetected { .. }) => {}
             other => panic!("tampering must be detected, got {other:?}"),
@@ -562,9 +605,7 @@ mod tests {
         let node_id = image.geometry().node_at_flat(flat).unwrap();
         let child = (0..8)
             .find_map(|s| match image.geometry().child(node_id, s) {
-                Some(NodeChild::DataLine(d))
-                    if !image.store.read(LineAddr::new(d)).is_zero() =>
-                {
+                Some(NodeChild::DataLine(d)) if !image.store.read(LineAddr::new(d)).is_zero() => {
                     Some(d)
                 }
                 _ => None,
@@ -594,8 +635,12 @@ mod tests {
 
     #[test]
     fn recovery_time_scales_with_dirty_metadata() {
-        let small = run_workload(SchemeKind::Star, 40).crash_and_recover().unwrap();
-        let large = run_workload(SchemeKind::Star, 5_000).crash_and_recover().unwrap();
+        let small = run_workload(SchemeKind::Star, 40)
+            .crash_and_recover()
+            .unwrap();
+        let large = run_workload(SchemeKind::Star, 5_000)
+            .crash_and_recover()
+            .unwrap();
         assert!(large.stale_count > small.stale_count);
         assert!(large.recovery_time_ns > small.recovery_time_ns);
     }

@@ -35,10 +35,11 @@ fn put_bit(line: &mut Line, idx: u64, value: bool) {
 
 /// Iterates over the indices of set bits in `line`.
 fn set_bits(line: &Line) -> impl Iterator<Item = u64> + '_ {
-    line.as_bytes()
-        .iter()
-        .enumerate()
-        .flat_map(|(i, &b)| (0..8).filter(move |&j| (b >> j) & 1 == 1).map(move |j| i as u64 * 8 + j))
+    line.as_bytes().iter().enumerate().flat_map(|(i, &b)| {
+        (0..8)
+            .filter(move |&j| (b >> j) & 1 == 1)
+            .map(move |j| i as u64 * 8 + j)
+    })
 }
 
 /// The static layout of the multi-layer index in the Recovery Area.
@@ -79,7 +80,12 @@ impl BitmapLayout {
             layer_offsets.push(acc);
             acc += c;
         }
-        Self { total_meta_lines, ra_base, layer_counts, layer_offsets }
+        Self {
+            total_meta_lines,
+            ra_base,
+            layer_counts,
+            layer_offsets,
+        }
     }
 
     /// Number of layers, the on-chip top included.
@@ -94,7 +100,9 @@ impl BitmapLayout {
 
     /// RA size in lines (all layers except the on-chip top).
     pub fn ra_lines(&self) -> u64 {
-        self.layer_counts[..self.layer_counts.len() - 1].iter().sum()
+        self.layer_counts[..self.layer_counts.len() - 1]
+            .iter()
+            .sum()
     }
 
     /// NVM address of line `line_no` of spilled layer `layer`.
@@ -171,7 +179,12 @@ pub struct MultiLayerBitmap {
 impl MultiLayerBitmap {
     /// Creates the bitmap with `adr_capacity` lines of ADR.
     pub fn new(layout: BitmapLayout, adr_capacity: usize) -> Self {
-        Self { layout, adr: AdrRegion::new(adr_capacity), top: Line::ZERO, stats: BitmapStats::default() }
+        Self {
+            layout,
+            adr: AdrRegion::new(adr_capacity),
+            top: Line::ZERO,
+            stats: BitmapStats::default(),
+        }
     }
 
     /// The static layout (shared with recovery).
@@ -270,7 +283,10 @@ mod tests {
 
     fn setup(total_meta: u64, adr_cap: usize) -> (MultiLayerBitmap, NvmDevice) {
         let layout = BitmapLayout::new(total_meta, 1_000_000);
-        (MultiLayerBitmap::new(layout, adr_cap), NvmDevice::new(NvmConfig::default()))
+        (
+            MultiLayerBitmap::new(layout, adr_cap),
+            NvmDevice::new(NvmConfig::default()),
+        )
     }
 
     /// Exhaustive model check against a reference HashSet.
@@ -278,7 +294,9 @@ mod tests {
         let mut store = nvm.store().clone();
         bitmap.crash_flush(&mut store);
         let mut reads = 0;
-        let mut got = bitmap.layout().collect_stale(&bitmap.top_line(), &store, &mut reads);
+        let mut got = bitmap
+            .layout()
+            .collect_stale(&bitmap.top_line(), &store, &mut reads);
         got.sort_unstable();
         let mut want = expect.to_vec();
         want.sort_unstable();
@@ -341,7 +359,7 @@ mod tests {
         b.set(10, &mut nvm, 0);
         let accesses = b.stats().accesses;
         b.set(10, &mut nvm, 0); // same bit again
-        // Only the L1 access happens; no upper-layer propagation.
+                                // Only the L1 access happens; no upper-layer propagation.
         assert_eq!(b.stats().accesses, accesses + 1);
         check_roundtrip(&mut b, &mut nvm, &[10]);
     }
@@ -359,7 +377,10 @@ mod tests {
         };
         let small = run(2);
         let large = run(32);
-        assert!(large > small, "more ADR lines must raise hit ratio: {small} vs {large}");
+        assert!(
+            large > small,
+            "more ADR lines must raise hit ratio: {small} vs {large}"
+        );
     }
 
     #[test]
@@ -387,6 +408,10 @@ mod tests {
             b.set(i * 512, &mut nvm, 0);
         }
         assert_eq!(b.stats().ra_writes, 0, "capacity 16 never spills 8 lines");
-        check_roundtrip(&mut b, &mut nvm, &(0..8).map(|i| i * 512).collect::<Vec<_>>());
+        check_roundtrip(
+            &mut b,
+            &mut nvm,
+            &(0..8).map(|i| i * 512).collect::<Vec<_>>(),
+        );
     }
 }

@@ -24,7 +24,10 @@ use star_metadata::COUNTER_MASK;
 /// assert_eq!(restore_counter(0x1234, 0x234, 10), 0x1234);
 /// ```
 pub fn restore_counter(stale: u64, lsb: u16, lsb_bits: u32) -> u64 {
-    debug_assert!((1..=10).contains(&lsb_bits), "paper uses up to 10 spare bits");
+    debug_assert!(
+        (1..=10).contains(&lsb_bits),
+        "paper uses up to 10 spare bits"
+    );
     let modulus = 1u64 << lsb_bits;
     debug_assert!(u64::from(lsb) < modulus);
     let base = stale & !(modulus - 1);
@@ -38,7 +41,7 @@ pub fn restore_counter(stale: u64, lsb: u16, lsb_bits: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use star_rng::SimRng;
 
     #[test]
     fn unchanged_counter_restores_to_itself() {
@@ -65,30 +68,34 @@ mod tests {
         assert_eq!(restore_counter(30, 14, 4), 30);
     }
 
-    proptest! {
-        /// The defining property: if the true counter advanced by fewer
-        /// than `2^bits` increments since the stale copy was persisted,
-        /// restoration is exact.
-        #[test]
-        fn exact_within_flush_window(
-            stale in 0u64..=(COUNTER_MASK - 1024),
-            delta_raw in 0u64..1024,
-            bits in 1u32..=10,
-        ) {
+    /// The defining property: if the true counter advanced by fewer
+    /// than `2^bits` increments since the stale copy was persisted,
+    /// restoration is exact.
+    #[test]
+    fn exact_within_flush_window() {
+        let mut rng = SimRng::seed_from_u64(0x7273_7472_2d65_7861);
+        for _ in 0..4096 {
+            let stale = rng.gen_range_inclusive(0..=(COUNTER_MASK - 1024));
+            let bits = rng.gen_range_inclusive(1..=10) as u32;
             let modulus = 1u64 << bits;
-            let delta = delta_raw % modulus;
+            let delta = rng.gen_range(0..1024) % modulus;
             let truth = stale + delta;
             let lsb = (truth % modulus) as u16;
-            prop_assert_eq!(restore_counter(stale, lsb, bits), truth);
+            assert_eq!(restore_counter(stale, lsb, bits), truth);
         }
+    }
 
-        /// Restoration never goes backwards and never jumps a full window.
-        #[test]
-        fn bounded(stale in 0u64..=(COUNTER_MASK - 2048), lsb in 0u16..1024) {
+    /// Restoration never goes backwards and never jumps a full window.
+    #[test]
+    fn bounded() {
+        let mut rng = SimRng::seed_from_u64(0x7273_7472_2d62_6e64);
+        for _ in 0..4096 {
+            let stale = rng.gen_range_inclusive(0..=(COUNTER_MASK - 2048));
+            let lsb = rng.gen_range(0..1024) as u16;
             let c = restore_counter(stale, lsb, 10);
-            prop_assert!(c >= stale);
-            prop_assert!(c < stale + 1024);
-            prop_assert_eq!(c & 0x3ff, u64::from(lsb));
+            assert!(c >= stale);
+            assert!(c < stale + 1024);
+            assert_eq!(c & 0x3ff, u64::from(lsb));
         }
     }
 }

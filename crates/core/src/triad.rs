@@ -75,7 +75,10 @@ impl TriadMemory {
     /// Panics if `data_lines` is zero or `persist_levels` is zero.
     pub fn new(cfg: TriadConfig) -> Self {
         assert!(cfg.data_lines > 0, "memory must have data lines");
-        assert!(cfg.persist_levels >= 1, "Triad persists at least the counter blocks");
+        assert!(
+            cfg.persist_levels >= 1,
+            "Triad persists at least the counter blocks"
+        );
         let cb_count = cfg.data_lines.div_ceil(TREE_ARITY as u64);
         let tree = BonsaiMerkleTree::new(cb_count as usize);
         Self {
@@ -121,7 +124,12 @@ impl TriadMemory {
         let tag = self.mac.data_mac(line, dl.payload(), counter, 0);
         dl.set_mac_field(MacField::new(tag, 0));
         self.now_ps += 1_000;
-        let w = self.nvm.write(LineAddr::new(line), dl.to_line(), AccessClass::Data, self.now_ps);
+        let w = self.nvm.write(
+            LineAddr::new(line),
+            dl.to_line(),
+            AccessClass::Data,
+            self.now_ps,
+        );
         let _ = w;
 
         // Write-through the counter block…
@@ -169,8 +177,10 @@ impl TriadMemory {
         let span = (TREE_ARITY as u64).pow((level - 1) as u32);
         let start = (index * span) as usize;
         let end = (((index + 1) * span) as usize).min(self.counter_blocks.len());
-        let lines: Vec<Line> =
-            self.counter_blocks[start..end].iter().map(Node64::to_line).collect();
+        let lines: Vec<Line> = self.counter_blocks[start..end]
+            .iter()
+            .map(Node64::to_line)
+            .collect();
         BonsaiMerkleTree::reconstruct(lines.iter().map(|l| l.as_bytes().as_slice())).root()
     }
 
@@ -229,8 +239,15 @@ mod tests {
             m.write_data((i * 37) % 4_096, i + 1);
         }
         let (reads, time_ns, verified) = m.crash_and_recover();
-        assert!(verified, "attack-free Triad recovery verifies against the root");
-        assert_eq!(reads, m.counter_blocks() as u64, "reads every counter block");
+        assert!(
+            verified,
+            "attack-free Triad recovery verifies against the root"
+        );
+        assert_eq!(
+            reads,
+            m.counter_blocks() as u64,
+            "reads every counter block"
+        );
         assert!(time_ns > 0);
     }
 

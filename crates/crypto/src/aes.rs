@@ -140,7 +140,12 @@ fn shift_rows(state: &mut [u8; 16]) {
 #[inline]
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         let t = col[0] ^ col[1] ^ col[2] ^ col[3];
         for r in 0..4 {
             state[4 * c + r] ^= t ^ xtime(col[r] ^ col[(r + 1) % 4]);

@@ -95,7 +95,9 @@ pub struct MacInput {
 impl MacInput {
     /// Creates an empty input.
     pub fn new() -> Self {
-        Self { buf: Vec::with_capacity(96) }
+        Self {
+            buf: Vec::with_capacity(96),
+        }
     }
 
     /// Appends a 64-bit field.
@@ -108,7 +110,8 @@ impl MacInput {
     /// Appends a byte-string field (length-prefixed).
     pub fn bytes(mut self, data: &[u8]) -> Self {
         self.buf.push(0x02);
-        self.buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(data.len() as u64).to_le_bytes());
         self.buf.extend_from_slice(data);
         self
     }
@@ -116,7 +119,8 @@ impl MacInput {
     /// Appends a slice of 64-bit fields (e.g. the eight counters of a node).
     pub fn u64s(mut self, values: &[u64]) -> Self {
         self.buf.push(0x03);
-        self.buf.extend_from_slice(&(values.len() as u64).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(values.len() as u64).to_le_bytes());
         for v in values {
             self.buf.extend_from_slice(&v.to_le_bytes());
         }
@@ -137,7 +141,7 @@ impl MacInput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use star_rng::SimRng;
 
     #[test]
     fn mac_is_54_bits() {
@@ -174,22 +178,30 @@ mod tests {
         assert_ne!(a, b);
     }
 
-    proptest! {
-        /// Any single-bit flip in a u64 field changes the MAC (with
-        /// overwhelming probability; deterministic here for the sampled
-        /// cases).
-        #[test]
-        fn bit_flip_changes_mac(value in any::<u64>(), bit in 0u32..64) {
-            let key = MacKey::from_seed(3);
+    /// Any single-bit flip in a u64 field changes the MAC (with
+    /// overwhelming probability; deterministic here for the sampled
+    /// cases).
+    #[test]
+    fn bit_flip_changes_mac() {
+        let mut rng = SimRng::seed_from_u64(0x6d61_632d_666c_6970);
+        let key = MacKey::from_seed(3);
+        for _ in 0..256 {
+            let value = rng.gen_u64();
+            let bit = rng.gen_range(0..64) as u32;
             let a = MacInput::new().u64(value).mac54(&key);
             let b = MacInput::new().u64(value ^ (1 << bit)).mac54(&key);
-            prop_assert_ne!(a, b);
+            assert_ne!(a, b, "flip of bit {bit} in {value:#x} kept the MAC");
         }
+    }
 
-        #[test]
-        fn mac_always_fits(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let key = MacKey::from_seed(11);
-            prop_assert!(MacInput::new().bytes(&data).mac54(&key).as_u64() <= MAC54_MASK);
+    #[test]
+    fn mac_always_fits() {
+        let mut rng = SimRng::seed_from_u64(0x6d61_632d_6669_7473);
+        let key = MacKey::from_seed(11);
+        for _ in 0..256 {
+            let len = rng.gen_index(256);
+            let data: Vec<u8> = (0..len).map(|_| rng.gen_u8()).collect();
+            assert!(MacInput::new().bytes(&data).mac54(&key).as_u64() <= MAC54_MASK);
         }
     }
 }

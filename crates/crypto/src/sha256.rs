@@ -45,7 +45,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Self { state: H0, buffer: [0; 64], buffered: 0, length_bytes: 0 }
+        Self {
+            state: H0,
+            buffer: [0; 64],
+            buffered: 0,
+            length_bytes: 0,
+        }
     }
 
     /// Convenience: hash `data` in one call.

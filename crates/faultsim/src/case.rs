@@ -1,0 +1,361 @@
+//! Running one crash case and classifying what recovery made of it.
+
+use crate::fault::{apply_fault, FaultKind};
+use crate::{catch_quiet, install_panic_filter, SimSetup};
+use star_core::persist::{CrashRequested, PersistPoint, PersistPointKind};
+use star_core::{recover, RecoveryError, SecureMemory};
+use star_nvm::WriteRecord;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Ring capacity for the device write journal; faults only ever target
+/// writes near the crash point, so this bounds memory without losing
+/// anything relevant.
+const JOURNAL_CAPACITY: usize = 4096;
+
+/// Readback probes per case: every committed line when few, a
+/// deterministic stride sample (always keeping the first and last
+/// committed line) when many.
+const MAX_READBACK_LINES: usize = 1024;
+
+/// One crash case: where in the persist schedule, and what breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCase {
+    /// Persist point (1-based sequence number) the crash fires at.
+    pub crash_at: u64,
+    /// The accompanying medium fault.
+    pub fault: FaultKind,
+}
+
+impl FaultCase {
+    /// A clean crash at persist point `seq`.
+    pub fn crash_only(seq: u64) -> Self {
+        Self {
+            crash_at: seq,
+            fault: FaultKind::CrashOnly,
+        }
+    }
+}
+
+/// How one case ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Recovery succeeded and every committed data line read back with
+    /// its exact pre-crash value through full verification.
+    Recovered,
+    /// The loss/tampering was *detected* — recovery refused (cache-tree
+    /// mismatch) or a readback failed integrity verification. Expected
+    /// for injected tampering and for Strict's mid-chain crash windows;
+    /// never a silent failure.
+    DetectedTamper,
+    /// Recovery claimed success and readback verified, but some line
+    /// returned the wrong value. A test failure for every recoverable
+    /// scheme under the paper's fault model ([`FaultKind::CrashOnly`]).
+    SilentCorruption,
+    /// The scheme does not support recovery at all (the WB baseline).
+    Unrecoverable,
+    /// The run finished before reaching `crash_at`; nothing to classify.
+    NotReached,
+    /// The fault had no target at this point (e.g. `TornWrite` with an
+    /// empty write queue); no crash semantics were exercised.
+    Skipped,
+}
+
+impl Outcome {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Recovered => "recovered",
+            Outcome::DetectedTamper => "detected-tamper",
+            Outcome::SilentCorruption => "silent-corruption",
+            Outcome::Unrecoverable => "unrecoverable",
+            Outcome::NotReached => "not-reached",
+            Outcome::Skipped => "skipped",
+        }
+    }
+
+    /// Every classifiable outcome, in report order.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::Recovered,
+        Outcome::DetectedTamper,
+        Outcome::SilentCorruption,
+        Outcome::Unrecoverable,
+        Outcome::NotReached,
+        Outcome::Skipped,
+    ];
+}
+
+impl core::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The record one case leaves behind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// The persist point crashed at.
+    pub crash_at: u64,
+    /// What kind of durable transition that point committed (`None` when
+    /// the run ended before reaching it).
+    pub kind: Option<PersistPointKind>,
+    /// The injected fault.
+    pub fault: FaultKind,
+    /// Classification.
+    pub outcome: Outcome,
+    /// Stale metadata nodes the crash left behind.
+    pub stale_count: usize,
+    /// Recovery's modeled line reads.
+    pub recovery_reads: u64,
+    /// Recovery's modeled line writes.
+    pub recovery_writes: u64,
+    /// Recovery's modeled time (100 ns per line access).
+    pub recovery_time_ns: u64,
+    /// Committed data lines read back through full verification.
+    pub readback_checked: usize,
+    /// Human-readable one-liner on how the classification was reached.
+    pub detail: String,
+}
+
+/// Compressed kind label for reports.
+pub(crate) fn kind_label(kind: PersistPointKind) -> &'static str {
+    match kind {
+        PersistPointKind::DataLineCommit { .. } => "data-line-commit",
+        PersistPointKind::NodeWriteback { .. } => "node-writeback",
+        PersistPointKind::ForcedFlush { .. } => "forced-flush",
+        PersistPointKind::StrictChainNode { .. } => "strict-chain-node",
+    }
+}
+
+/// The readback oracle: data line → last version durably committed at or
+/// before persist point `upto`.
+pub fn committed_versions(schedule: &[PersistPoint], upto: u64) -> BTreeMap<u64, u64> {
+    let mut map = BTreeMap::new();
+    for p in schedule.iter().take_while(|p| p.seq <= upto) {
+        if let PersistPointKind::DataLineCommit { line, version } = p.kind {
+            map.insert(line, version);
+        }
+    }
+    map
+}
+
+/// Replays `setup` with a crash armed at `case.crash_at`, applies the
+/// fault to what survives, runs recovery, and classifies the result via
+/// the readback oracle. Fully deterministic in `(setup, case)`.
+pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
+    install_panic_filter();
+    let mut engine = SecureMemory::new(setup.scheme, setup.cfg.clone());
+    engine.enable_persist_log();
+    engine.enable_write_journal(JOURNAL_CAPACITY);
+    engine.arm_crash_at(case.crash_at);
+
+    let mut workload = setup.workload.instantiate(setup.seed);
+    let run = catch_unwind(AssertUnwindSafe(|| workload.run(setup.ops, &mut engine)));
+    let crash: CrashRequested = match run {
+        Ok(()) => {
+            return CaseResult {
+                crash_at: case.crash_at,
+                kind: None,
+                fault: case.fault,
+                outcome: Outcome::NotReached,
+                stale_count: 0,
+                recovery_reads: 0,
+                recovery_writes: 0,
+                recovery_time_ns: 0,
+                readback_checked: 0,
+                detail: format!(
+                    "run committed only {} persist points",
+                    engine.persist_points()
+                ),
+            };
+        }
+        Err(payload) => match payload.downcast::<CrashRequested>() {
+            Ok(crash) => *crash,
+            // Anything else is a genuine engine bug — do not classify it
+            // away as a fault-injection outcome.
+            Err(payload) => resume_unwind(payload),
+        },
+    };
+    engine.disarm_crash();
+
+    // Snapshot what the crash-consuming image cannot carry: the persist
+    // schedule (the oracle) and the write queue's view of in-flight
+    // writes (fault targets).
+    let schedule: Vec<PersistPoint> = engine.persist_log().to_vec();
+    let now_ps = engine.now_ps();
+    let undrained: Vec<WriteRecord> = engine
+        .write_journal()
+        .map(|j| j.undrained_at(now_ps))
+        .unwrap_or_default();
+    let committed = committed_versions(&schedule, crash.seq);
+    let last_committed_line = match crash.kind {
+        PersistPointKind::DataLineCommit { line, .. } => Some(line),
+        _ => schedule.iter().rev().find_map(|p| match p.kind {
+            PersistPointKind::DataLineCommit { line, .. } => Some(line),
+            _ => None,
+        }),
+    };
+
+    let mut image = engine.crash();
+    let stale_count = image.stale_node_count();
+
+    if !apply_fault(
+        &mut image,
+        &case.fault,
+        &committed,
+        &undrained,
+        last_committed_line,
+    ) {
+        return CaseResult {
+            crash_at: crash.seq,
+            kind: Some(crash.kind),
+            fault: case.fault,
+            outcome: Outcome::Skipped,
+            stale_count,
+            recovery_reads: 0,
+            recovery_writes: 0,
+            recovery_time_ns: 0,
+            readback_checked: 0,
+            detail: "fault had no target at this point".into(),
+        };
+    }
+
+    let mut result = CaseResult {
+        crash_at: crash.seq,
+        kind: Some(crash.kind),
+        fault: case.fault,
+        outcome: Outcome::Recovered,
+        stale_count,
+        recovery_reads: 0,
+        recovery_writes: 0,
+        recovery_time_ns: 0,
+        readback_checked: 0,
+        detail: String::new(),
+    };
+
+    match recover(&mut image) {
+        Err(RecoveryError::NotRecoverable(_)) => {
+            result.outcome = Outcome::Unrecoverable;
+            result.detail = "scheme has no recovery path".into();
+        }
+        Err(RecoveryError::AttackDetected { .. }) => {
+            result.outcome = Outcome::DetectedTamper;
+            result.detail = "recovery verification (cache-tree root) refused the image".into();
+        }
+        Ok(report) => {
+            result.recovery_reads = report.nvm_reads;
+            result.recovery_writes = report.nvm_writes;
+            result.recovery_time_ns = report.recovery_time_ns;
+            let (outcome, checked, detail) = readback_outcome(&image, setup, &committed);
+            result.outcome = outcome;
+            result.readback_checked = checked;
+            result.detail = detail;
+        }
+    }
+    result
+}
+
+/// Boots a fresh engine from the recovered image and reads committed
+/// lines back through the full verify-and-decrypt path.
+fn readback_outcome(
+    image: &star_core::CrashImage,
+    setup: &SimSetup,
+    committed: &BTreeMap<u64, u64>,
+) -> (Outcome, usize, String) {
+    let mut resumed = SecureMemory::resume_from_image(image, setup.cfg.clone());
+    let lines: Vec<(u64, u64)> = sample_lines(committed);
+    let mut checked = 0;
+    for &(line, want) in &lines {
+        let got = catch_quiet(|| resumed.read_data(line));
+        checked += 1;
+        match got {
+            Err(_) => {
+                return (
+                    Outcome::DetectedTamper,
+                    checked,
+                    format!("integrity verification rejected readback of line {line}"),
+                );
+            }
+            Ok(got) if got != want => {
+                return (
+                    Outcome::SilentCorruption,
+                    checked,
+                    format!("line {line} read back {got}, committed value was {want}"),
+                );
+            }
+            Ok(_) => {}
+        }
+    }
+    (
+        Outcome::Recovered,
+        checked,
+        format!("{checked} committed lines verified and matched"),
+    )
+}
+
+/// All committed lines when few; otherwise a deterministic stride sample
+/// that keeps the extremes.
+fn sample_lines(committed: &BTreeMap<u64, u64>) -> Vec<(u64, u64)> {
+    let all: Vec<(u64, u64)> = committed.iter().map(|(&l, &v)| (l, v)).collect();
+    if all.len() <= MAX_READBACK_LINES {
+        return all;
+    }
+    let stride = all.len().div_ceil(MAX_READBACK_LINES);
+    let mut picked: Vec<(u64, u64)> = all.iter().copied().step_by(stride).collect();
+    if picked.last() != all.last() {
+        picked.push(*all.last().expect("non-empty"));
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(seq: u64, kind: PersistPointKind) -> PersistPoint {
+        PersistPoint { seq, kind }
+    }
+
+    #[test]
+    fn oracle_takes_last_commit_at_or_before_point() {
+        let schedule = vec![
+            pp(
+                1,
+                PersistPointKind::DataLineCommit {
+                    line: 5,
+                    version: 10,
+                },
+            ),
+            pp(2, PersistPointKind::NodeWriteback { flat: 0 }),
+            pp(
+                3,
+                PersistPointKind::DataLineCommit {
+                    line: 5,
+                    version: 11,
+                },
+            ),
+            pp(
+                4,
+                PersistPointKind::DataLineCommit {
+                    line: 6,
+                    version: 3,
+                },
+            ),
+        ];
+        let at2 = committed_versions(&schedule, 2);
+        assert_eq!(at2.get(&5), Some(&10));
+        assert_eq!(at2.get(&6), None);
+        let at4 = committed_versions(&schedule, 4);
+        assert_eq!(at4.get(&5), Some(&11));
+        assert_eq!(at4.get(&6), Some(&3));
+    }
+
+    #[test]
+    fn sampling_keeps_extremes_and_bounds() {
+        let big: BTreeMap<u64, u64> = (0..5_000u64).map(|i| (i, i * 2)).collect();
+        let s = sample_lines(&big);
+        assert!(s.len() <= MAX_READBACK_LINES + 1);
+        assert_eq!(s.first(), Some(&(0, 0)));
+        assert_eq!(s.last(), Some(&(4_999, 9_998)));
+    }
+}

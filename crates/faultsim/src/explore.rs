@@ -1,0 +1,159 @@
+//! The crash-schedule explorer.
+//!
+//! A dry run (instrumented, no crash armed) yields the run's complete
+//! persist schedule; the explorer then replays the run once per chosen
+//! schedule point with the crash injected there. Below the case budget
+//! the sweep is exhaustive — every persist point is crashed on,
+//! including the windows between a data-line commit and the later
+//! write-back of its parent counter/MAC node. Above the budget, points
+//! are drawn by seeded random sampling (deterministic per plan), always
+//! keeping the first and last point.
+
+use crate::case::{run_case, CaseResult, FaultCase};
+use crate::fault::FaultKind;
+use crate::report::ExploreReport;
+use crate::{install_panic_filter, SimSetup};
+use star_core::persist::PersistPoint;
+use star_core::SecureMemory;
+use star_rng::SimRng;
+use std::collections::BTreeSet;
+
+/// What to explore and how hard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorePlan {
+    /// The run under test.
+    pub setup: SimSetup,
+    /// Fault injected at every explored point.
+    pub fault: FaultKind,
+    /// Force crashing on every persist point regardless of `max_cases`.
+    pub exhaustive: bool,
+    /// Case budget when not exhaustive; schedules at most this long are
+    /// swept exhaustively anyway.
+    pub max_cases: usize,
+    /// Seed for sampling points from over-budget schedules (independent
+    /// of the workload seed so the two can be varied separately).
+    pub sample_seed: u64,
+}
+
+impl ExplorePlan {
+    /// A clean-crash plan with the default sampling budget.
+    pub fn new(setup: SimSetup) -> Self {
+        Self {
+            setup,
+            fault: FaultKind::CrashOnly,
+            exhaustive: false,
+            max_cases: 256,
+            sample_seed: 1,
+        }
+    }
+
+    /// Same plan with a different fault.
+    pub fn with_fault(mut self, fault: FaultKind) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Same plan, forced exhaustive.
+    pub fn all_points(mut self) -> Self {
+        self.exhaustive = true;
+        self
+    }
+}
+
+/// Runs `setup` to completion with instrumentation on and no crash
+/// armed, returning the full persist schedule.
+pub fn persist_schedule(setup: &SimSetup) -> Vec<PersistPoint> {
+    install_panic_filter();
+    let mut engine = SecureMemory::new(setup.scheme, setup.cfg.clone());
+    engine.enable_persist_log();
+    let mut workload = setup.workload.instantiate(setup.seed);
+    workload.run(setup.ops, &mut engine);
+    engine.persist_log().to_vec()
+}
+
+/// Which schedule points a plan will crash on.
+pub fn chosen_points(plan: &ExplorePlan, total_points: u64) -> Vec<u64> {
+    if total_points == 0 {
+        return Vec::new();
+    }
+    if plan.exhaustive || total_points <= plan.max_cases as u64 {
+        return (1..=total_points).collect();
+    }
+    let mut picked: BTreeSet<u64> = BTreeSet::new();
+    picked.insert(1);
+    picked.insert(total_points);
+    let mut rng = SimRng::seed_from_u64(plan.sample_seed);
+    while picked.len() < plan.max_cases {
+        picked.insert(rng.gen_range_inclusive(1..=total_points));
+    }
+    picked.into_iter().collect()
+}
+
+/// Explores the plan: one replay-and-recover case per chosen persist
+/// point, classified and collected into a machine-readable report.
+pub fn explore(plan: &ExplorePlan) -> ExploreReport {
+    let schedule = persist_schedule(&plan.setup);
+    let total_points = schedule.len() as u64;
+    let points = chosen_points(plan, total_points);
+    let cases: Vec<CaseResult> = points
+        .iter()
+        .map(|&seq| {
+            run_case(
+                &plan.setup,
+                &FaultCase {
+                    crash_at: seq,
+                    fault: plan.fault,
+                },
+            )
+        })
+        .collect();
+    ExploreReport {
+        scheme: plan.setup.scheme,
+        workload: plan.setup.workload,
+        ops: plan.setup.ops,
+        seed: plan.setup.seed,
+        fault: plan.fault,
+        total_points,
+        exhaustive: points.len() as u64 == total_points,
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_core::SchemeKind;
+    use star_workloads::WorkloadKind;
+
+    fn tiny_plan() -> ExplorePlan {
+        ExplorePlan::new(SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 24, 3))
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let plan = tiny_plan();
+        let a = persist_schedule(&plan.setup);
+        let b = persist_schedule(&plan.setup);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_schedules_are_swept_exhaustively() {
+        let plan = tiny_plan();
+        let points = chosen_points(&plan, 40);
+        assert_eq!(points, (1..=40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sampling_is_bounded_deterministic_and_keeps_extremes() {
+        let plan = tiny_plan();
+        let a = chosen_points(&plan, 100_000);
+        let b = chosen_points(&plan, 100_000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), plan.max_cases);
+        assert_eq!(a.first(), Some(&1));
+        assert_eq!(a.last(), Some(&100_000));
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+    }
+}

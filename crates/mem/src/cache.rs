@@ -60,7 +60,10 @@ impl<V> SetAssocCache<V> {
     pub fn new(num_sets: usize, ways: usize) -> Self {
         assert!(num_sets > 0, "cache needs at least one set");
         assert!(ways > 0, "cache needs at least one way");
-        Self { sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(), ways }
+        Self {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+        }
     }
 
     /// Number of sets.
@@ -143,7 +146,11 @@ impl<V> SetAssocCache<V> {
         }
         let evicted = if set.len() >= self.ways {
             let victim = set.remove(0);
-            Some(Evicted { addr: victim.addr, dirty: victim.dirty, value: victim.value })
+            Some(Evicted {
+                addr: victim.addr,
+                dirty: victim.dirty,
+                value: victim.value,
+            })
         } else {
             None
         };
@@ -182,13 +189,18 @@ impl<V> SetAssocCache<V> {
 
     /// Iterates over `(addr, dirty, &value)` of every resident line.
     pub fn iter(&self) -> impl Iterator<Item = (u64, bool, &V)> {
-        self.sets.iter().flatten().map(|w| (w.addr, w.dirty, &w.value))
+        self.sets
+            .iter()
+            .flatten()
+            .map(|w| (w.addr, w.dirty, &w.value))
     }
 
     /// Iterates over `(addr, dirty, &value)` in one set (recency order,
     /// LRU first).
     pub fn iter_set(&self, set_index: usize) -> impl Iterator<Item = (u64, bool, &V)> {
-        self.sets[set_index].iter().map(|w| (w.addr, w.dirty, &w.value))
+        self.sets[set_index]
+            .iter()
+            .map(|w| (w.addr, w.dirty, &w.value))
     }
 
     /// Number of dirty resident lines.

@@ -25,7 +25,11 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        Self { freq_ghz: 2.0, base_ipc: 2.0, read_overlap: 0.4 }
+        Self {
+            freq_ghz: 2.0,
+            base_ipc: 2.0,
+            read_overlap: 0.4,
+        }
     }
 }
 
@@ -49,7 +53,12 @@ pub struct SimpleCore {
 impl SimpleCore {
     /// Creates a core with `cfg`.
     pub fn new(cfg: CoreConfig) -> Self {
-        Self { cfg, instructions: 0, compute_cycles: 0.0, stall_cycles: 0.0 }
+        Self {
+            cfg,
+            instructions: 0,
+            compute_cycles: 0.0,
+            stall_cycles: 0.0,
+        }
     }
 
     /// Retires `count` compute instructions.
@@ -117,7 +126,11 @@ mod tests {
 
     #[test]
     fn write_stalls_charge_fully() {
-        let mut c = SimpleCore::new(CoreConfig { freq_ghz: 1.0, base_ipc: 1.0, read_overlap: 0.0 });
+        let mut c = SimpleCore::new(CoreConfig {
+            freq_ghz: 1.0,
+            base_ipc: 1.0,
+            read_overlap: 0.0,
+        });
         c.retire_instructions(10);
         c.stall_write_ps(5_000); // 5 ns at 1 GHz = 5 cycles
         assert!((c.cycles() - 15.0).abs() < 1e-9);

@@ -66,17 +66,26 @@ impl VecSink {
 
     /// Number of [`MemEvent::Write`] events recorded.
     pub fn write_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, MemEvent::Write { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, MemEvent::Write { .. }))
+            .count()
     }
 
     /// Number of [`MemEvent::Clwb`] events recorded.
     pub fn clwb_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, MemEvent::Clwb { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, MemEvent::Clwb { .. }))
+            .count()
     }
 
     /// Number of [`MemEvent::Read`] events recorded.
     pub fn read_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, MemEvent::Read { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, MemEvent::Read { .. }))
+            .count()
     }
 }
 
@@ -94,7 +103,13 @@ mod tests {
     fn vec_sink_records_in_order() {
         let mut sink = VecSink::new();
         sink.on_event(MemEvent::Read { line: 1 });
-        sink.on_events(&[MemEvent::Write { line: 2, version: 0 }, MemEvent::Fence]);
+        sink.on_events(&[
+            MemEvent::Write {
+                line: 2,
+                version: 0,
+            },
+            MemEvent::Fence,
+        ]);
         assert_eq!(sink.events.len(), 3);
         assert_eq!(sink.events[2], MemEvent::Fence);
         assert_eq!(sink.read_count(), 1);

@@ -63,9 +63,18 @@ pub struct HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> Self {
         Self {
-            l1: LevelConfig { capacity_bytes: 64 << 10, ways: 2 },
-            l2: LevelConfig { capacity_bytes: 512 << 10, ways: 8 },
-            l3: LevelConfig { capacity_bytes: 4 << 20, ways: 8 },
+            l1: LevelConfig {
+                capacity_bytes: 64 << 10,
+                ways: 2,
+            },
+            l2: LevelConfig {
+                capacity_bytes: 512 << 10,
+                ways: 8,
+            },
+            l3: LevelConfig {
+                capacity_bytes: 4 << 20,
+                ways: 8,
+            },
         }
     }
 }
@@ -193,7 +202,13 @@ impl CacheHierarchy {
         }
         if !self.l1.contains(line) {
             let out_of = self.l1.insert(line, version, true);
-            Self::spill(out_of.evicted, &mut self.l2, &mut self.l3, &mut self.stats, out);
+            Self::spill(
+                out_of.evicted,
+                &mut self.l2,
+                &mut self.l3,
+                &mut self.stats,
+                out,
+            );
         }
     }
 
@@ -215,7 +230,13 @@ impl CacheHierarchy {
         let version = *self.l2.peek(line).expect("hit in l2");
         let dirty = self.l2.is_dirty(line);
         let res = self.l1.insert(line, version, dirty);
-        Self::spill(res.evicted, &mut self.l2, &mut self.l3, &mut self.stats, out);
+        Self::spill(
+            res.evicted,
+            &mut self.l2,
+            &mut self.l3,
+            &mut self.stats,
+            out,
+        );
     }
 
     fn fill_into_l1_l2(&mut self, line: u64, out: &mut Vec<MemSideOp>) {
@@ -226,7 +247,13 @@ impl CacheHierarchy {
             Self::spill_to_l3(ev, &mut self.l3, &mut self.stats, out);
         }
         let res1 = self.l1.insert(line, version, dirty);
-        Self::spill(res1.evicted, &mut self.l2, &mut self.l3, &mut self.stats, out);
+        Self::spill(
+            res1.evicted,
+            &mut self.l2,
+            &mut self.l3,
+            &mut self.stats,
+            out,
+        );
     }
 
     fn fill_all(&mut self, line: u64, version: u64, dirty: bool, out: &mut Vec<MemSideOp>) {
@@ -242,14 +269,23 @@ impl CacheHierarchy {
                 .unwrap_or((ev.value, ev.dirty));
             if d {
                 self.stats.writebacks += 1;
-                out.push(MemSideOp::WriteBack { line: ev.addr, version: v });
+                out.push(MemSideOp::WriteBack {
+                    line: ev.addr,
+                    version: v,
+                });
             }
         }
         if let Some(ev) = self.l2.insert(line, version, dirty).evicted {
             Self::spill_to_l3(ev, &mut self.l3, &mut self.stats, out);
         }
         let res = self.l1.insert(line, version, dirty);
-        Self::spill(res.evicted, &mut self.l2, &mut self.l3, &mut self.stats, out);
+        Self::spill(
+            res.evicted,
+            &mut self.l2,
+            &mut self.l3,
+            &mut self.stats,
+            out,
+        );
     }
 
     /// Handles an L1 victim: falls to L2 (then L3, then memory).
@@ -294,7 +330,10 @@ impl CacheHierarchy {
         if let Some(ev3) = res.evicted {
             if ev3.dirty {
                 stats.writebacks += 1;
-                out.push(MemSideOp::WriteBack { line: ev3.addr, version: ev3.value });
+                out.push(MemSideOp::WriteBack {
+                    line: ev3.addr,
+                    version: ev3.value,
+                });
             }
         }
     }
@@ -312,9 +351,18 @@ mod tests {
 
     fn tiny() -> CacheHierarchy {
         CacheHierarchy::new(HierarchyConfig {
-            l1: LevelConfig { capacity_bytes: 2 * 64, ways: 1 },
-            l2: LevelConfig { capacity_bytes: 4 * 64, ways: 2 },
-            l3: LevelConfig { capacity_bytes: 8 * 64, ways: 2 },
+            l1: LevelConfig {
+                capacity_bytes: 2 * 64,
+                ways: 1,
+            },
+            l2: LevelConfig {
+                capacity_bytes: 4 * 64,
+                ways: 2,
+            },
+            l3: LevelConfig {
+                capacity_bytes: 8 * 64,
+                ways: 2,
+            },
         })
     }
 
@@ -335,10 +383,22 @@ mod tests {
     fn clwb_writes_back_dirty_line_once() {
         let mut h = tiny();
         let mut ops = Vec::new();
-        h.access(MemEvent::Write { line: 5, version: 9 }, &mut ops);
+        h.access(
+            MemEvent::Write {
+                line: 5,
+                version: 9,
+            },
+            &mut ops,
+        );
         ops.clear();
         h.access(MemEvent::Clwb { line: 5 }, &mut ops);
-        assert_eq!(ops, vec![MemSideOp::WriteBack { line: 5, version: 9 }]);
+        assert_eq!(
+            ops,
+            vec![MemSideOp::WriteBack {
+                line: 5,
+                version: 9
+            }]
+        );
         ops.clear();
         h.access(MemEvent::Clwb { line: 5 }, &mut ops);
         assert!(ops.is_empty(), "clean line persists nothing");
@@ -355,7 +415,13 @@ mod tests {
         // Dirty many distinct lines mapping over all levels until the LLC
         // overflows.
         for i in 0..64 {
-            h.access(MemEvent::Write { line: i, version: i }, &mut ops);
+            h.access(
+                MemEvent::Write {
+                    line: i,
+                    version: i,
+                },
+                &mut ops,
+            );
         }
         assert!(
             ops.iter().any(|o| matches!(o, MemSideOp::WriteBack { .. })),
@@ -383,7 +449,13 @@ mod tests {
     fn write_miss_fills_then_dirties() {
         let mut h = tiny();
         let mut ops = Vec::new();
-        h.access(MemEvent::Write { line: 3, version: 1 }, &mut ops);
+        h.access(
+            MemEvent::Write {
+                line: 3,
+                version: 1,
+            },
+            &mut ops,
+        );
         assert_eq!(ops, vec![MemSideOp::Fill { line: 3 }]);
         ops.clear();
         h.access(MemEvent::Clwb { line: 3 }, &mut ops);

@@ -79,7 +79,10 @@ pub fn from_text(text: &str) -> Result<Vec<MemEvent>, ParseTraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = || ParseTraceError { line_no: i + 1, content: raw.to_string() };
+        let err = || ParseTraceError {
+            line_no: i + 1,
+            content: raw.to_string(),
+        };
         let mut parts = line.split_ascii_whitespace();
         let tag = parts.next().ok_or_else(err)?;
         let mut num = || -> Result<u64, ParseTraceError> {
@@ -87,7 +90,10 @@ pub fn from_text(text: &str) -> Result<Vec<MemEvent>, ParseTraceError> {
         };
         let event = match tag {
             "R" => MemEvent::Read { line: num()? },
-            "W" => MemEvent::Write { line: num()?, version: num()? },
+            "W" => MemEvent::Write {
+                line: num()?,
+                version: num()?,
+            },
             "P" => MemEvent::Clwb { line: num()? },
             "F" => MemEvent::Fence,
             "C" => MemEvent::Work { count: num()? },
@@ -170,10 +176,16 @@ mod tests {
         vec![
             MemEvent::Work { count: 10 },
             MemEvent::Read { line: 5 },
-            MemEvent::Write { line: 5, version: 1 },
+            MemEvent::Write {
+                line: 5,
+                version: 1,
+            },
             MemEvent::Clwb { line: 5 },
             MemEvent::Fence,
-            MemEvent::Write { line: 9_000, version: 2 },
+            MemEvent::Write {
+                line: 9_000,
+                version: 2,
+            },
         ]
     }
 
@@ -187,7 +199,16 @@ mod tests {
     #[test]
     fn comments_and_blanks_are_skipped() {
         let parsed = from_text("# header\n\nW 1 2\n  F  \n").expect("parses");
-        assert_eq!(parsed, vec![MemEvent::Write { line: 1, version: 2 }, MemEvent::Fence]);
+        assert_eq!(
+            parsed,
+            vec![
+                MemEvent::Write {
+                    line: 1,
+                    version: 2
+                },
+                MemEvent::Fence
+            ]
+        );
     }
 
     #[test]
@@ -212,7 +233,10 @@ mod tests {
         assert_eq!(stats.fences, 1);
         assert_eq!(stats.instructions, 10);
         assert_eq!(stats.unique_lines, 2);
-        assert_eq!(stats.write_regions_32k, 2, "lines 5 and 9000 are in different regions");
+        assert_eq!(
+            stats.write_regions_32k, 2,
+            "lines 5 and 9000 are in different regions"
+        );
         assert!((stats.mean_writes_per_line - 1.0).abs() < 1e-9);
     }
 

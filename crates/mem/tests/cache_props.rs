@@ -1,8 +1,9 @@
-//! Property tests: the set-associative cache against a straightforward
+//! Randomized tests: the set-associative cache against a straightforward
 //! reference model, and hierarchy coherence against a shadow memory.
+//! Driven by seeded `star-rng` loops so the suite builds offline.
 
-use proptest::prelude::*;
 use star_mem::{CacheHierarchy, HierarchyConfig, MemEvent, MemSideOp, SetAssocCache};
+use star_rng::SimRng;
 use std::collections::HashMap;
 
 /// A deliberately naive LRU reference: per set, a Vec ordered LRU→MRU.
@@ -15,7 +16,11 @@ struct RefCache {
 
 impl RefCache {
     fn new(num_sets: u64, ways: usize) -> Self {
-        Self { sets: HashMap::new(), num_sets, ways }
+        Self {
+            sets: HashMap::new(),
+            num_sets,
+            ways,
+        }
     }
 
     fn set(&mut self, addr: u64) -> &mut Vec<(u64, bool, u32)> {
@@ -38,7 +43,11 @@ impl RefCache {
             set.push((addr, dirty, value));
             return None;
         }
-        let victim = if set.len() >= ways { Some(set.remove(0)) } else { None };
+        let victim = if set.len() >= ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
         set.push((addr, dirty, value));
         victim
     }
@@ -60,26 +69,31 @@ enum Op {
     Remove(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..64).prop_map(Op::Get),
-        (0u64..64, any::<u32>(), any::<bool>()).prop_map(|(a, v, d)| Op::Insert(a, v, d)),
-        (0u64..64, any::<bool>()).prop_map(|(a, d)| Op::SetDirty(a, d)),
-        (0u64..64).prop_map(Op::Remove),
-    ]
+fn random_ops(rng: &mut SimRng, max_len: usize) -> Vec<Op> {
+    let len = 1 + rng.gen_index(max_len);
+    (0..len)
+        .map(|_| match rng.gen_index(4) {
+            0 => Op::Get(rng.gen_range(0..64)),
+            1 => Op::Insert(rng.gen_range(0..64), rng.gen_u32(), rng.gen_bool(0.5)),
+            2 => Op::SetDirty(rng.gen_range(0..64), rng.gen_bool(0.5)),
+            _ => Op::Remove(rng.gen_range(0..64)),
+        })
+        .collect()
 }
 
-proptest! {
-    /// The production cache agrees with the reference on every
-    /// observable: hits, values, dirty bits and evicted victims.
-    #[test]
-    fn cache_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+/// The production cache agrees with the reference on every
+/// observable: hits, values, dirty bits and evicted victims.
+#[test]
+fn cache_matches_reference() {
+    let mut rng = SimRng::seed_from_u64(0x6361_6368_652d_7265);
+    for _ in 0..48 {
+        let ops = random_ops(&mut rng, 300);
         let mut cache: SetAssocCache<u32> = SetAssocCache::new(4, 3);
         let mut reference = RefCache::new(4, 3);
         for op in &ops {
             match op {
                 Op::Get(a) => {
-                    prop_assert_eq!(cache.get_mut(*a).map(|v| *v), reference.get(*a));
+                    assert_eq!(cache.get_mut(*a).map(|v| *v), reference.get(*a));
                 }
                 Op::Insert(a, v, d) => {
                     let got = cache.insert(*a, *v, *d);
@@ -87,49 +101,70 @@ proptest! {
                     match (got.evicted, want) {
                         (None, None) => {}
                         (Some(e), Some((wa, wd, wv))) => {
-                            prop_assert_eq!(e.addr, wa);
-                            prop_assert_eq!(e.dirty, wd);
-                            prop_assert_eq!(e.value, wv);
+                            assert_eq!(e.addr, wa);
+                            assert_eq!(e.dirty, wd);
+                            assert_eq!(e.value, wv);
                         }
-                        other => prop_assert!(false, "eviction mismatch: {:?}", other),
+                        other => panic!("eviction mismatch: {other:?}"),
                     }
                 }
                 Op::SetDirty(a, d) => {
-                    prop_assert_eq!(cache.set_dirty(*a, *d), reference.set_dirty(*a, *d));
+                    assert_eq!(cache.set_dirty(*a, *d), reference.set_dirty(*a, *d));
                 }
                 Op::Remove(a) => {
                     let got = cache.remove(*a);
                     let set = reference.set(*a);
                     let want = set.iter().position(|e| e.0 == *a).map(|p| set.remove(p));
-                    prop_assert_eq!(got.map(|(v, d)| (d, v)), want.map(|(_, d, v)| (d, v)));
+                    assert_eq!(got.map(|(v, d)| (d, v)), want.map(|(_, d, v)| (d, v)));
                 }
             }
         }
         // Final state agrees too.
-        prop_assert_eq!(cache.len(), reference.sets.values().map(Vec::len).sum::<usize>());
-        prop_assert_eq!(
+        assert_eq!(
+            cache.len(),
+            reference.sets.values().map(Vec::len).sum::<usize>()
+        );
+        assert_eq!(
             cache.dirty_count(),
             reference.sets.values().flatten().filter(|e| e.1).count()
         );
     }
+}
 
-    /// The hierarchy is coherent: after any event sequence, reading a
-    /// line through the hierarchy state returns the program's last write.
-    #[test]
-    fn hierarchy_tracks_latest_versions(
-        events in proptest::collection::vec(
-            prop_oneof![
-                (0u64..128).prop_map(|l| MemEvent::Read { line: l }),
-                (0u64..128, 1u64..1000).prop_map(|(l, v)| MemEvent::Write { line: l, version: v }),
-                (0u64..128).prop_map(|l| MemEvent::Clwb { line: l }),
-            ],
-            1..300,
-        )
-    ) {
+/// The hierarchy is coherent: after any event sequence, reading a
+/// line through the hierarchy state returns the program's last write.
+#[test]
+fn hierarchy_tracks_latest_versions() {
+    let mut rng = SimRng::seed_from_u64(0x6361_6368_652d_6869);
+    for _ in 0..48 {
+        let len = 1 + rng.gen_index(300);
+        let events: Vec<MemEvent> = (0..len)
+            .map(|_| match rng.gen_index(3) {
+                0 => MemEvent::Read {
+                    line: rng.gen_range(0..128),
+                },
+                1 => MemEvent::Write {
+                    line: rng.gen_range(0..128),
+                    version: rng.gen_range(1..1000),
+                },
+                _ => MemEvent::Clwb {
+                    line: rng.gen_range(0..128),
+                },
+            })
+            .collect();
         let mut h = CacheHierarchy::new(HierarchyConfig {
-            l1: star_mem::hierarchy::LevelConfig { capacity_bytes: 4 * 64, ways: 2 },
-            l2: star_mem::hierarchy::LevelConfig { capacity_bytes: 8 * 64, ways: 2 },
-            l3: star_mem::hierarchy::LevelConfig { capacity_bytes: 16 * 64, ways: 4 },
+            l1: star_mem::hierarchy::LevelConfig {
+                capacity_bytes: 4 * 64,
+                ways: 2,
+            },
+            l2: star_mem::hierarchy::LevelConfig {
+                capacity_bytes: 8 * 64,
+                ways: 2,
+            },
+            l3: star_mem::hierarchy::LevelConfig {
+                capacity_bytes: 16 * 64,
+                ways: 4,
+            },
         });
         let mut memory: HashMap<u64, u64> = HashMap::new(); // NVM-side shadow
         let mut latest: HashMap<u64, u64> = HashMap::new(); // program-visible
@@ -143,7 +178,10 @@ proptest! {
                 MemEvent::Write { line, .. } => {
                     version_counter += 1;
                     latest.insert(line, version_counter);
-                    MemEvent::Write { line, version: version_counter }
+                    MemEvent::Write {
+                        line,
+                        version: version_counter,
+                    }
                 }
                 other => other,
             };
@@ -154,7 +192,7 @@ proptest! {
                     MemSideOp::WriteBack { line, version } => {
                         // Write-backs must never go backwards.
                         let prev = memory.get(line).copied().unwrap_or(0);
-                        prop_assert!(*version >= prev, "write-back regressed line {}", line);
+                        assert!(*version >= prev, "write-back regressed line {line}");
                         memory.insert(*line, *version);
                     }
                     MemSideOp::Fill { line } => {
@@ -168,13 +206,13 @@ proptest! {
         // Every cached line agrees with the program's last write.
         for (&line, &want) in &latest {
             if let Some(got) = h.peek_version(line) {
-                prop_assert_eq!(got, want, "line {}", line);
+                assert_eq!(got, want, "line {line}");
             } else {
                 // Evicted: memory must hold the latest (it was dirty) or
                 // the line was clean and memory may lag only if never
                 // written back — but then it was never evicted dirty.
                 let got = memory.get(&line).copied().unwrap_or(0);
-                prop_assert_eq!(got, want, "evicted line {}", line);
+                assert_eq!(got, want, "evicted line {line}");
             }
         }
     }

@@ -59,8 +59,7 @@ impl BonsaiMerkleTree {
         let mut levels = vec![vec![hash_leaf(&[]); leaves]];
         while levels.last().expect("nonempty").len() > 1 {
             let below = levels.last().expect("nonempty");
-            let level: Vec<BmtHash> =
-                below.chunks(BMT_ARITY).map(hash_children).collect();
+            let level: Vec<BmtHash> = below.chunks(BMT_ARITY).map(hash_children).collect();
             levels.push(level);
         }
         Self { levels }
@@ -147,7 +146,11 @@ mod tests {
             t.update_leaf(i, b);
         }
         let rebuilt = BonsaiMerkleTree::reconstruct(blobs.iter().map(|b| b.as_slice()));
-        assert_eq!(t.root(), rebuilt.root(), "Triad-NVM-style rebuild must agree");
+        assert_eq!(
+            t.root(),
+            rebuilt.root(),
+            "Triad-NVM-style rebuild must agree"
+        );
     }
 
     #[test]

@@ -20,14 +20,20 @@ pub struct DataLine {
 
 impl Default for DataLine {
     fn default() -> Self {
-        Self { payload: [0; 56], mac_field: MacField::default() }
+        Self {
+            payload: [0; 56],
+            mac_field: MacField::default(),
+        }
     }
 }
 
 impl DataLine {
     /// Creates a line with the given payload and a zero MAC field.
     pub fn new(payload: [u8; 56]) -> Self {
-        Self { payload, mac_field: MacField::default() }
+        Self {
+            payload,
+            mac_field: MacField::default(),
+        }
     }
 
     /// Builds a payload carrying a content version (simulation shorthand
@@ -104,7 +110,10 @@ mod tests {
 
     #[test]
     fn versions_produce_distinct_payloads() {
-        assert_ne!(DataLine::from_version(1).payload(), DataLine::from_version(2).payload());
+        assert_ne!(
+            DataLine::from_version(1).payload(),
+            DataLine::from_version(2).payload()
+        );
     }
 
     #[test]

@@ -83,7 +83,12 @@ impl SitGeometry {
             level_offsets.push(acc);
             acc += c;
         }
-        Self { data_lines, level_counts, level_offsets, meta_base: data_lines }
+        Self {
+            data_lines,
+            level_counts,
+            level_offsets,
+            meta_base: data_lines,
+        }
     }
 
     /// Geometry of the paper's 16 GB memory.
@@ -154,7 +159,11 @@ impl SitGeometry {
             return None;
         }
         // Levels are few (≤ 12 even for petabyte memories): linear scan.
-        for (level, (&off, &cnt)) in self.level_offsets.iter().zip(&self.level_counts).enumerate()
+        for (level, (&off, &cnt)) in self
+            .level_offsets
+            .iter()
+            .zip(&self.level_counts)
+            .enumerate()
         {
             if idx < off + cnt {
                 return Some(NodeId::new(level as u8, idx - off));
@@ -254,7 +263,11 @@ mod tests {
     #[test]
     fn node_at_rejects_out_of_range() {
         let g = SitGeometry::new(1 << 12);
-        assert_eq!(g.node_at(LineAddr::new(0)), None, "data line is not metadata");
+        assert_eq!(
+            g.node_at(LineAddr::new(0)),
+            None,
+            "data line is not metadata"
+        );
         assert_eq!(g.node_at(LineAddr::new(g.meta_end())), None);
     }
 
@@ -309,9 +322,15 @@ mod tests {
         assert_eq!(g.levels(), 2);
         // Child 5 of L1#1 would be L0#13 — out of range.
         assert_eq!(g.child(NodeId::new(1, 1), 5), None);
-        assert_eq!(g.child(NodeId::new(1, 1), 4), Some(NodeChild::Node(NodeId::new(0, 12))));
+        assert_eq!(
+            g.child(NodeId::new(1, 1), 4),
+            Some(NodeChild::Node(NodeId::new(0, 12)))
+        );
         // Last counter block covers only data lines 96..100.
-        assert_eq!(g.child(NodeId::new(0, 12), 3), Some(NodeChild::DataLine(99)));
+        assert_eq!(
+            g.child(NodeId::new(0, 12), 3),
+            Some(NodeChild::DataLine(99))
+        );
         assert_eq!(g.child(NodeId::new(0, 12), 4), None);
     }
 

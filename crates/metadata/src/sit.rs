@@ -55,7 +55,13 @@ impl SitMac {
     }
 
     /// MAC of a node given directly (counters read from the node).
-    pub fn node_mac_of(&self, line_addr: u64, node: &Node64, parent_counter: u64, lsb10: u16) -> Mac54 {
+    pub fn node_mac_of(
+        &self,
+        line_addr: u64,
+        node: &Node64,
+        parent_counter: u64,
+        lsb10: u16,
+    ) -> Mac54 {
         self.node_mac(line_addr, node.counters(), parent_counter, lsb10)
     }
 

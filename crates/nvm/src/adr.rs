@@ -29,7 +29,10 @@ pub struct AdrRegion {
 impl AdrRegion {
     /// Creates a region holding at most `capacity` lines.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, entries: Vec::with_capacity(capacity) }
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// Maximum number of resident lines.

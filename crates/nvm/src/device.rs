@@ -16,6 +16,7 @@
 //!   **tFAW** limits activation bursts device-wide.
 
 use crate::energy::EnergyModel;
+use crate::journal::WriteJournal;
 use crate::stats::{AccessClass, NvmStats};
 use crate::store::{Line, LineAddr, LineStore};
 use crate::timings::PcmTimings;
@@ -89,6 +90,8 @@ pub struct NvmDevice {
     recent_activations: VecDeque<u64>,
     stats: NvmStats,
     wear: WearTracker,
+    /// Optional write journal for fault injection; `None` (free) by default.
+    journal: Option<WriteJournal>,
 }
 
 impl NvmDevice {
@@ -108,7 +111,19 @@ impl NvmDevice {
             recent_activations: VecDeque::new(),
             stats: NvmStats::new(),
             wear: WearTracker::new(),
+            journal: None,
         }
+    }
+
+    /// Starts journaling writes (pre-image + retirement time) into a
+    /// bounded ring of `capacity` records. See [`WriteJournal`].
+    pub fn enable_journal(&mut self, capacity: usize) {
+        self.journal = Some(WriteJournal::new(capacity));
+    }
+
+    /// The write journal, if enabled.
+    pub fn journal(&self) -> Option<&WriteJournal> {
+        self.journal.as_ref()
     }
 
     /// The configuration this device was built with.
@@ -209,7 +224,8 @@ impl NvmDevice {
         // Stall until a queue slot frees up.
         let mut accepted = now_ps;
         if self.inflight_writes.len() >= self.cfg.write_queue_capacity {
-            accepted = self.inflight_writes[self.inflight_writes.len() - self.cfg.write_queue_capacity];
+            accepted =
+                self.inflight_writes[self.inflight_writes.len() - self.cfg.write_queue_capacity];
             self.drain_retired(accepted);
         }
         let t = self.cfg.timings;
@@ -224,13 +240,19 @@ impl NvmDevice {
         let pos = self.inflight_writes.partition_point(|&e| e <= end);
         self.inflight_writes.insert(pos, end);
 
+        if let Some(journal) = self.journal.as_mut() {
+            journal.record(addr, class, self.store.read(addr), line, end);
+        }
         self.store.write(addr, line);
         self.wear.record(addr);
         self.stats.record_write(class);
         self.stats.energy_pj += self.cfg.energy.write_pj;
         let stall = accepted - now_ps;
         self.stats.write_stall_ps += stall;
-        WriteOutcome { accepted_at_ps: accepted, stall_ps: stall }
+        WriteOutcome {
+            accepted_at_ps: accepted,
+            stall_ps: stall,
+        }
     }
 }
 
@@ -283,19 +305,30 @@ mod tests {
 
     #[test]
     fn full_write_queue_stalls() {
-        let mut d = NvmDevice::new(NvmConfig { write_queue_capacity: 2, banks: 1, ..NvmConfig::default() });
+        let mut d = NvmDevice::new(NvmConfig {
+            write_queue_capacity: 2,
+            banks: 1,
+            ..NvmConfig::default()
+        });
         let w0 = d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
         let w1 = d.write(LineAddr::new(1), Line::ZERO, AccessClass::Data, 0);
         assert_eq!(w0.stall_ps, 0);
         assert_eq!(w1.stall_ps, 0);
         let w2 = d.write(LineAddr::new(2), Line::ZERO, AccessClass::Data, 0);
-        assert!(w2.stall_ps > 0, "third write into a 2-deep queue must stall");
+        assert!(
+            w2.stall_ps > 0,
+            "third write into a 2-deep queue must stall"
+        );
         assert_eq!(d.stats().write_stall_ps, w2.stall_ps);
     }
 
     #[test]
     fn queue_drains_with_time() {
-        let mut d = NvmDevice::new(NvmConfig { write_queue_capacity: 1, banks: 1, ..NvmConfig::default() });
+        let mut d = NvmDevice::new(NvmConfig {
+            write_queue_capacity: 1,
+            banks: 1,
+            ..NvmConfig::default()
+        });
         d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
         // Far in the future the first write has retired: no stall.
         let w = d.write(LineAddr::new(1), Line::ZERO, AccessClass::Data, 10_000_000);
@@ -322,13 +355,18 @@ mod tests {
             latencies.push(d.read(LineAddr::new(i), AccessClass::Data, 0).latency_ps);
         }
         let t = d.config().timings;
-        assert!(latencies[4] >= t.read_latency_ps() + t.t_faw_ps - t.read_latency_ps().min(t.t_faw_ps));
+        assert!(
+            latencies[4] >= t.read_latency_ps() + t.t_faw_ps - t.read_latency_ps().min(t.t_faw_ps)
+        );
         assert!(latencies[4] > latencies[0]);
     }
 
     #[test]
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_rejected() {
-        NvmDevice::new(NvmConfig { banks: 0, ..NvmConfig::default() });
+        NvmDevice::new(NvmConfig {
+            banks: 0,
+            ..NvmConfig::default()
+        });
     }
 }

@@ -21,7 +21,10 @@ impl Default for EnergyModel {
     /// 13.5–16.8 pJ/b for the written bits, of which roughly half flip) →
     /// 2 150 pJ and 8 602 pJ per 64 B line.
     fn default() -> Self {
-        Self { read_pj: 2_150, write_pj: 8_602 }
+        Self {
+            read_pj: 2_150,
+            write_pj: 8_602,
+        }
     }
 }
 
@@ -44,7 +47,10 @@ mod tests {
 
     #[test]
     fn total_is_linear() {
-        let e = EnergyModel { read_pj: 2, write_pj: 10 };
+        let e = EnergyModel {
+            read_pj: 2,
+            write_pj: 10,
+        };
         assert_eq!(e.total_pj(3, 4), 46);
         assert_eq!(e.total_pj(0, 0), 0);
     }

@@ -36,6 +36,7 @@
 pub mod adr;
 pub mod device;
 pub mod energy;
+pub mod journal;
 pub mod stats;
 pub mod store;
 pub mod timings;
@@ -44,6 +45,7 @@ pub mod wear;
 pub use adr::AdrRegion;
 pub use device::{NvmConfig, NvmDevice, ReadOutcome, WriteOutcome};
 pub use energy::EnergyModel;
+pub use journal::{WriteJournal, WriteRecord};
 pub use stats::{AccessClass, NvmStats};
 pub use store::{Line, LineAddr, LineStore};
 pub use timings::PcmTimings;

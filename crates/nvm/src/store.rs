@@ -62,7 +62,11 @@ impl core::fmt::Debug for Line {
         if self.is_zero() {
             write!(f, "Line(ZERO)")
         } else {
-            write!(f, "Line({:02x}{:02x}{:02x}{:02x}..)", self.0[0], self.0[1], self.0[2], self.0[3])
+            write!(
+                f,
+                "Line({:02x}{:02x}{:02x}{:02x}..)",
+                self.0[0], self.0[1], self.0[2], self.0[3]
+            )
         }
     }
 }

@@ -68,7 +68,11 @@ impl WearTracker {
             total += count;
             max = max.max(count);
         }
-        let mean = if lines == 0 { 0.0 } else { total as f64 / lines as f64 };
+        let mean = if lines == 0 {
+            0.0
+        } else {
+            total as f64 / lines as f64
+        };
         WearSummary {
             lines_touched: lines,
             total_writes: total,

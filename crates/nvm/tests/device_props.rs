@@ -1,7 +1,9 @@
-//! Property tests of the PCM device model's invariants.
+//! Randomized tests of the PCM device model's invariants, driven by the
+//! deterministic `star-rng` generator (seeded loops instead of a
+//! property-testing framework so the suite builds offline).
 
-use proptest::prelude::*;
 use star_nvm::{AccessClass, Line, LineAddr, NvmConfig, NvmDevice};
+use star_rng::SimRng;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -11,19 +13,24 @@ enum Req {
     Advance(u64),
 }
 
-fn req_strategy() -> impl Strategy<Value = Req> {
-    prop_oneof![
-        (0u64..64).prop_map(Req::Read),
-        (0u64..64, any::<u8>()).prop_map(|(a, b)| Req::Write(a, b)),
-        (1u64..1_000_000).prop_map(Req::Advance),
-    ]
+fn random_reqs(rng: &mut SimRng, max_len: usize) -> Vec<Req> {
+    let len = 1 + rng.gen_index(max_len);
+    (0..len)
+        .map(|_| match rng.gen_index(3) {
+            0 => Req::Read(rng.gen_range(0..64)),
+            1 => Req::Write(rng.gen_range(0..64), rng.gen_u8()),
+            _ => Req::Advance(rng.gen_range(1..1_000_000)),
+        })
+        .collect()
 }
 
-proptest! {
-    /// Reads always return the most recently written content, regardless
-    /// of timing, queueing or bank state.
-    #[test]
-    fn reads_return_last_write(reqs in proptest::collection::vec(req_strategy(), 1..200)) {
+/// Reads always return the most recently written content, regardless
+/// of timing, queueing or bank state.
+#[test]
+fn reads_return_last_write() {
+    let mut rng = SimRng::seed_from_u64(0x6465_762d_7265_6164);
+    for _ in 0..48 {
+        let reqs = random_reqs(&mut rng, 200);
         let mut dev = NvmDevice::new(NvmConfig::default());
         let mut shadow: HashMap<u64, Line> = HashMap::new();
         let mut now = 0u64;
@@ -32,25 +39,29 @@ proptest! {
                 Req::Read(a) => {
                     let out = dev.read(LineAddr::new(*a), AccessClass::Data, now);
                     let want = shadow.get(a).copied().unwrap_or(Line::ZERO);
-                    prop_assert_eq!(out.data, want);
-                    prop_assert!(out.complete_at_ps >= now);
-                    prop_assert!(out.latency_ps >= dev.config().timings.read_latency_ps());
+                    assert_eq!(out.data, want);
+                    assert!(out.complete_at_ps >= now);
+                    assert!(out.latency_ps >= dev.config().timings.read_latency_ps());
                 }
                 Req::Write(a, b) => {
                     let line = Line::filled(*b);
                     let out = dev.write(LineAddr::new(*a), line, AccessClass::Data, now);
-                    prop_assert!(out.accepted_at_ps >= now);
+                    assert!(out.accepted_at_ps >= now);
                     shadow.insert(*a, line);
                 }
                 Req::Advance(dt) => now += dt,
             }
         }
     }
+}
 
-    /// Statistics are exact counters, and energy is their linear
-    /// combination.
-    #[test]
-    fn stats_and_energy_are_exact(reqs in proptest::collection::vec(req_strategy(), 1..200)) {
+/// Statistics are exact counters, and energy is their linear
+/// combination.
+#[test]
+fn stats_and_energy_are_exact() {
+    let mut rng = SimRng::seed_from_u64(0x6465_762d_7374_6174);
+    for _ in 0..48 {
+        let reqs = random_reqs(&mut rng, 200);
         let mut dev = NvmDevice::new(NvmConfig::default());
         let (mut reads, mut writes, mut now) = (0u64, 0u64, 0u64);
         for req in &reqs {
@@ -67,22 +78,28 @@ proptest! {
             }
         }
         let s = dev.stats();
-        prop_assert_eq!(s.total_reads(), reads);
-        prop_assert_eq!(s.total_writes(), writes);
+        assert_eq!(s.total_reads(), reads);
+        assert_eq!(s.total_writes(), writes);
         let e = dev.config().energy;
-        prop_assert_eq!(s.energy_pj, e.total_pj(reads, writes));
-        prop_assert_eq!(dev.wear().summary().total_writes, writes);
+        assert_eq!(s.energy_pj, e.total_pj(reads, writes));
+        assert_eq!(dev.wear().summary().total_writes, writes);
     }
+}
 
-    /// Write stalls only happen under queue pressure: with generous time
-    /// between writes there is never a stall.
-    #[test]
-    fn spaced_writes_never_stall(addrs in proptest::collection::vec(0u64..1024, 1..100)) {
+/// Write stalls only happen under queue pressure: with generous time
+/// between writes there is never a stall.
+#[test]
+fn spaced_writes_never_stall() {
+    let mut rng = SimRng::seed_from_u64(0x6465_762d_7370_6163);
+    for _ in 0..32 {
+        let addrs: Vec<u64> = (0..1 + rng.gen_index(100))
+            .map(|_| rng.gen_range(0..1024))
+            .collect();
         let mut dev = NvmDevice::new(NvmConfig::default());
         let mut now = 0u64;
         for a in addrs {
             let out = dev.write(LineAddr::new(a), Line::ZERO, AccessClass::Data, now);
-            prop_assert_eq!(out.stall_ps, 0);
+            assert_eq!(out.stall_ps, 0);
             now += 10_000_000; // 10 µs apart: the queue always drains
         }
     }
@@ -92,9 +109,19 @@ proptest! {
 fn wear_concentrates_on_hot_lines() {
     let mut dev = NvmDevice::new(NvmConfig::default());
     for i in 0..100u64 {
-        dev.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, i * 1_000_000);
+        dev.write(
+            LineAddr::new(0),
+            Line::ZERO,
+            AccessClass::Data,
+            i * 1_000_000,
+        );
         if i % 10 == 0 {
-            dev.write(LineAddr::new(1), Line::ZERO, AccessClass::Data, i * 1_000_000);
+            dev.write(
+                LineAddr::new(1),
+                Line::ZERO,
+                AccessClass::Data,
+                i * 1_000_000,
+            );
         }
     }
     assert_eq!(dev.wear().writes_to(LineAddr::new(0)), 100);

@@ -1,0 +1,233 @@
+//! A small, deterministic, dependency-free PRNG.
+//!
+//! The simulation must build and test with **no registry access**, so the
+//! workloads and randomized tests cannot pull in the `rand` crate. This
+//! crate provides the few primitives they actually use, backed by
+//! xoshiro256** (Blackman & Vigna) seeded through SplitMix64 — the same
+//! construction `rand`'s `SmallRng` family uses. Streams are fully
+//! determined by the seed, which the experiment harness relies on to give
+//! every scheme an identical trace.
+//!
+//! ```
+//! use star_rng::SimRng;
+//! let mut a = SimRng::seed_from_u64(7);
+//! let mut b = SimRng::seed_from_u64(7);
+//! assert_eq!(a.gen_u64(), b.gen_u64(), "same seed, same stream");
+//! assert!(a.gen_range(0..10) < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step — used to expand a 64-bit seed into the xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state; SplitMix64
+        // cannot produce four zeros from any seed, but keep the guard.
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Self { s }
+    }
+
+    /// The next 64 raw bits of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly random `u64`.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// A uniformly random `u32`.
+    pub fn gen_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random `u8`.
+    pub fn gen_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// A uniform draw from the half-open range `r` (Lemire's method,
+    /// bias rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, r: Range<u64>) -> u64 {
+        assert!(r.start < r.end, "gen_range over an empty range");
+        r.start + self.below(r.end - r.start)
+    }
+
+    /// A uniform draw from the inclusive range `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_inclusive(&mut self, r: RangeInclusive<u64>) -> u64 {
+        let (lo, hi) = (*r.start(), *r.end());
+        assert!(lo <= hi, "gen_range_inclusive over an empty range");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A uniform draw from `0..n` as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index over an empty range");
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform in `0..n` (n > 0), without modulo bias.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Widening-multiply rejection sampling (Lemire 2018).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range_inclusive(5..=7);
+            assert!((5..=7).contains(&w));
+            assert!(rng.gen_index(13) < 13);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut counts = [0u32; 8];
+        const DRAWS: u32 = 80_000;
+        for _ in 0..DRAWS {
+            counts[rng.gen_range(0..8) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = DRAWS / 8;
+            assert!(
+                c > expect - expect / 10 && c < expect + expect / 10,
+                "bucket {i} has {c}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_spread() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut below_half = 0;
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            if f < 0.5 {
+                below_half += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&below_half), "{below_half}");
+    }
+
+    #[test]
+    fn bool_probability_is_respected() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.05)).count();
+        assert!((300..700).contains(&hits), "5% of 10k draws, got {hits}");
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = SimRng::seed_from_u64(7);
+        // Must not overflow the `hi - lo + 1` width computation.
+        rng.gen_range_inclusive(0..=u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::seed_from_u64(0).gen_range(5..5);
+    }
+}

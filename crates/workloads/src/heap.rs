@@ -7,6 +7,7 @@
 //! stand-in for actual bytes).
 
 use star_mem::{MemEvent, TraceSink};
+use star_rng::SimRng;
 
 /// Persistent-heap access helper.
 ///
@@ -26,7 +27,11 @@ impl Pmem {
     /// Panics if the region is empty.
     pub fn new(base: u64, capacity_lines: u64) -> Self {
         assert!(capacity_lines > 0, "heap must have capacity");
-        Self { next_line: base, limit: base + capacity_lines, version: 0 }
+        Self {
+            next_line: base,
+            limit: base + capacity_lines,
+            version: 0,
+        }
     }
 
     /// Allocates `n` consecutive lines, returning the first line index.
@@ -59,7 +64,10 @@ impl Pmem {
     /// Emits a store to `line` with a fresh content version.
     pub fn store(&mut self, sink: &mut dyn TraceSink, line: u64) {
         self.version += 1;
-        sink.on_event(MemEvent::Write { line, version: self.version });
+        sink.on_event(MemEvent::Write {
+            line,
+            version: self.version,
+        });
     }
 
     /// Emits a `clwb` of `line`.
@@ -101,18 +109,15 @@ pub struct VolatileSet {
 impl VolatileSet {
     /// Carves `lines` lines out of `pmem` for the volatile set.
     pub fn new(pmem: &mut Pmem, lines: u64) -> Self {
-        Self { base: pmem.alloc(lines), lines }
+        Self {
+            base: pmem.alloc(lines),
+            lines,
+        }
     }
 
     /// Issues `reads` random loads into the set; each has a 5% chance of
     /// also storing (without persisting — eviction write-backs only).
-    pub fn churn<R: rand::Rng + ?Sized>(
-        &self,
-        pmem: &mut Pmem,
-        sink: &mut dyn TraceSink,
-        rng: &mut R,
-        reads: usize,
-    ) {
+    pub fn churn(&self, pmem: &mut Pmem, sink: &mut dyn TraceSink, rng: &mut SimRng, reads: usize) {
         for _ in 0..reads {
             let line = self.base + rng.gen_range(0..self.lines);
             pmem.load(sink, line);

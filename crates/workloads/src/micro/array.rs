@@ -8,9 +8,8 @@
 use crate::heap::{Pmem, VolatileSet};
 use crate::micro::{HEAP_BASE, HEAP_LINES};
 use crate::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use star_mem::TraceSink;
+use star_rng::SimRng;
 
 /// Configuration and state of the array workload.
 #[derive(Debug, Clone)]
@@ -19,7 +18,7 @@ pub struct ArrayWorkload {
     base: u64,
     lines: u64,
     volatile: VolatileSet,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl ArrayWorkload {
@@ -42,7 +41,13 @@ impl ArrayWorkload {
         let lines = bytes / 64;
         let base = pmem.alloc(lines);
         let volatile = VolatileSet::new(&mut pmem, (8 << 20) / 64);
-        Self { pmem, base, lines, volatile, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            pmem,
+            base,
+            lines,
+            volatile,
+            rng: SimRng::seed_from_u64(seed),
+        }
     }
 
     /// Number of array lines.
@@ -80,7 +85,10 @@ mod tests {
         let mut sink = VecSink::new();
         wl.run(100, &mut sink);
         assert_eq!(sink.clwb_count(), 100, "one persist per op");
-        assert!(sink.write_count() >= 100, "persisted stores plus volatile churn");
+        assert!(
+            sink.write_count() >= 100,
+            "persisted stores plus volatile churn"
+        );
     }
 
     #[test]

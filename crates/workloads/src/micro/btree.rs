@@ -10,9 +10,8 @@
 use crate::heap::{Pmem, VolatileSet};
 use crate::micro::{HEAP_BASE, HEAP_LINES};
 use crate::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use star_mem::TraceSink;
+use star_rng::SimRng;
 
 /// Maximum keys per node (order 17 B-tree).
 const MAX_KEYS: usize = 16;
@@ -39,7 +38,7 @@ pub struct BtreeWorkload {
     nodes: Vec<Node>,
     root: usize,
     volatile: VolatileSet,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl BtreeWorkload {
@@ -50,10 +49,14 @@ impl BtreeWorkload {
         let volatile = VolatileSet::new(&mut pmem, (8 << 20) / 64);
         Self {
             pmem,
-            nodes: vec![Node { keys: Vec::new(), children: Vec::new(), base_line }],
+            nodes: vec![Node {
+                keys: Vec::new(),
+                children: Vec::new(),
+                base_line,
+            }],
             root: 0,
             volatile,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
         }
     }
 
@@ -107,7 +110,11 @@ impl BtreeWorkload {
         };
         let base_line = self.pmem.alloc(NODE_LINES);
         let sibling = self.nodes.len();
-        self.nodes.push(Node { keys: right_keys, children: right_children, base_line });
+        self.nodes.push(Node {
+            keys: right_keys,
+            children: right_children,
+            base_line,
+        });
         self.nodes[parent].keys.insert(ci, up_key);
         self.nodes[parent].children.insert(ci + 1, sibling);
 
@@ -162,7 +169,7 @@ impl Workload for BtreeWorkload {
 
     fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
         for _ in 0..ops {
-            let key: u64 = self.rng.gen();
+            let key: u64 = self.rng.gen_u64();
             self.pmem.work(sink, 700);
             self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 4);
             self.insert(sink, key);

@@ -9,9 +9,8 @@
 use crate::heap::{Pmem, VolatileSet};
 use crate::micro::{HEAP_BASE, HEAP_LINES};
 use crate::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use star_mem::TraceSink;
+use star_rng::SimRng;
 use std::collections::HashMap;
 
 /// Entries per 64-byte bucket line before it overflows.
@@ -27,7 +26,7 @@ pub struct HashWorkload {
     fill: HashMap<u64, u32>,
     chains: HashMap<u64, Vec<u64>>,
     volatile: VolatileSet,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl HashWorkload {
@@ -47,7 +46,7 @@ impl HashWorkload {
             fill: HashMap::new(),
             chains: HashMap::new(),
             volatile,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
         }
     }
 
@@ -64,7 +63,7 @@ impl Workload for HashWorkload {
 
     fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
         for _ in 0..ops {
-            let key: u64 = self.rng.gen();
+            let key: u64 = self.rng.gen_u64();
             let b = key % self.buckets;
             let bucket_line = self.bucket_base + b;
             self.pmem.work(sink, 1000);
@@ -83,10 +82,9 @@ impl Workload for HashWorkload {
             } else {
                 // Overflow: allocate (or reuse the newest) chain line and
                 // link it from the bucket header.
-                let needs_new = self
-                    .chains
-                    .get(&b)
-                    .is_none_or(|c| c.len() as u32 * SLOTS_PER_BUCKET < *count - SLOTS_PER_BUCKET + 1);
+                let needs_new = self.chains.get(&b).is_none_or(|c| {
+                    c.len() as u32 * SLOTS_PER_BUCKET < *count - SLOTS_PER_BUCKET + 1
+                });
                 let line = if needs_new {
                     let line = self.pmem.alloc(1);
                     self.chains.entry(b).or_default().push(line);
@@ -131,6 +129,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(regions.len() > 100, "writes span many 32KB regions: {}", regions.len());
+        assert!(
+            regions.len() > 100,
+            "writes span many 32KB regions: {}",
+            regions.len()
+        );
     }
 }

@@ -40,7 +40,10 @@ mod tests {
             );
             for e in &sink.events {
                 if let MemEvent::Write { line, .. } | MemEvent::Read { line } = e {
-                    assert!(*line < super::HEAP_BASE + super::HEAP_LINES, "{kind:?} in heap");
+                    assert!(
+                        *line < super::HEAP_BASE + super::HEAP_LINES,
+                        "{kind:?} in heap"
+                    );
                 }
             }
         }

@@ -8,9 +8,8 @@
 use crate::heap::{Pmem, VolatileSet};
 use crate::micro::{HEAP_BASE, HEAP_LINES};
 use crate::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use star_mem::TraceSink;
+use star_rng::SimRng;
 
 /// A persistent single-producer queue workload (70% enqueue, 30%
 /// dequeue).
@@ -23,7 +22,7 @@ pub struct QueueWorkload {
     head: u64,
     tail: u64,
     volatile: VolatileSet,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl QueueWorkload {
@@ -42,7 +41,7 @@ impl QueueWorkload {
             head: 0,
             tail: 0,
             volatile,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
         }
     }
 

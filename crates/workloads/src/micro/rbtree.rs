@@ -9,9 +9,8 @@
 use crate::heap::{Pmem, VolatileSet};
 use crate::micro::{HEAP_BASE, HEAP_LINES};
 use crate::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use star_mem::TraceSink;
+use star_rng::SimRng;
 use std::collections::HashSet;
 
 const NIL: usize = usize::MAX;
@@ -39,7 +38,7 @@ pub struct RbtreeWorkload {
     nodes: Vec<Node>,
     root: usize,
     volatile: VolatileSet,
-    rng: StdRng,
+    rng: SimRng,
     /// Nodes modified by the current insert, persisted at its end.
     touched: HashSet<usize>,
 }
@@ -54,7 +53,7 @@ impl RbtreeWorkload {
             nodes: Vec::new(),
             root: NIL,
             volatile,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             touched: HashSet::new(),
         }
     }
@@ -141,7 +140,14 @@ impl RbtreeWorkload {
         }
         let line = self.pmem.alloc(1);
         let z = self.nodes.len();
-        self.nodes.push(Node { key, color: Color::Red, parent, left: NIL, right: NIL, line });
+        self.nodes.push(Node {
+            key,
+            color: Color::Red,
+            parent,
+            left: NIL,
+            right: NIL,
+            line,
+        });
         self.touch(z);
         if parent == NIL {
             self.root = z;
@@ -163,9 +169,7 @@ impl RbtreeWorkload {
     }
 
     fn fixup(&mut self, mut z: usize) {
-        while self.nodes[z].parent != NIL
-            && self.nodes[self.nodes[z].parent].color == Color::Red
-        {
+        while self.nodes[z].parent != NIL && self.nodes[self.nodes[z].parent].color == Color::Red {
             let p = self.nodes[z].parent;
             let g = self.nodes[p].parent;
             if g == NIL {
@@ -271,7 +275,7 @@ impl Workload for RbtreeWorkload {
 
     fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
         for _ in 0..ops {
-            let key: u64 = self.rng.gen();
+            let key: u64 = self.rng.gen_u64();
             self.pmem.work(sink, 800);
             self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 4);
             self.insert(sink, key);

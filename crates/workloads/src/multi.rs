@@ -22,11 +22,16 @@ struct OffsetSink<'a> {
 impl TraceSink for OffsetSink<'_> {
     fn on_event(&mut self, event: MemEvent) {
         let shifted = match event {
-            MemEvent::Read { line } => MemEvent::Read { line: line + self.base },
-            MemEvent::Write { line, version } => {
-                MemEvent::Write { line: line + self.base, version }
-            }
-            MemEvent::Clwb { line } => MemEvent::Clwb { line: line + self.base },
+            MemEvent::Read { line } => MemEvent::Read {
+                line: line + self.base,
+            },
+            MemEvent::Write { line, version } => MemEvent::Write {
+                line: line + self.base,
+                version,
+            },
+            MemEvent::Clwb { line } => MemEvent::Clwb {
+                line: line + self.base,
+            },
             other => other,
         };
         self.inner.on_event(shifted);
@@ -110,7 +115,10 @@ impl Workload for MultiThreaded {
                 let n = self.burst.min(per_thread - done[t]);
                 buffer.events.clear();
                 wl.run(n, &mut buffer);
-                let mut shifted = OffsetSink { base: Self::partition_base(t), inner: sink };
+                let mut shifted = OffsetSink {
+                    base: Self::partition_base(t),
+                    inner: sink,
+                };
                 shifted.on_events(&buffer.events);
                 done[t] += n;
                 progressed = true;
@@ -137,7 +145,11 @@ mod tests {
                 seen_partitions.insert(line / HEAP_LINES);
             }
         }
-        assert_eq!(seen_partitions.len(), 4, "every thread writes its own partition");
+        assert_eq!(
+            seen_partitions.len(),
+            4,
+            "every thread writes its own partition"
+        );
     }
 
     #[test]

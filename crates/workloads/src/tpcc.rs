@@ -12,9 +12,8 @@
 use crate::heap::{Pmem, VolatileSet};
 use crate::micro::{HEAP_BASE, HEAP_LINES};
 use crate::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use star_mem::TraceSink;
+use star_rng::SimRng;
 
 /// Districts (order tables) in the modeled warehouse set.
 const DISTRICTS: u64 = 16;
@@ -36,7 +35,7 @@ pub struct TpccWorkload {
     order_base: u64,
     order_heads: Vec<u64>,
     volatile: VolatileSet,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl TpccWorkload {
@@ -57,7 +56,7 @@ impl TpccWorkload {
             order_base,
             order_heads: vec![0; DISTRICTS as usize],
             volatile,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
         }
     }
 
@@ -72,7 +71,7 @@ impl TpccWorkload {
 
     fn new_order(&mut self, sink: &mut dyn TraceSink) {
         let d = self.rng.gen_range(0..DISTRICTS);
-        let items = self.rng.gen_range(5..=15u64);
+        let items = self.rng.gen_range_inclusive(5..=15);
         self.pmem.work(sink, 2500);
         self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 14);
         // Read the district record and the customer.
@@ -134,7 +133,11 @@ mod tests {
         let mut sink = VecSink::new();
         wl.run(50, &mut sink);
         assert!(sink.clwb_count() > 50 * 5, "new-order writes many lines");
-        let fences = sink.events.iter().filter(|e| matches!(e, MemEvent::Fence)).count();
+        let fences = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, MemEvent::Fence))
+            .count();
         assert!(fences >= 50 * 2, "durability points fence");
     }
 
@@ -147,10 +150,16 @@ mod tests {
             .events
             .iter()
             .filter_map(|e| match e {
-                MemEvent::Write { line, .. } if *line < wl.log_base + LOG_LINES && *line >= wl.log_base => Some(*line),
+                MemEvent::Write { line, .. }
+                    if *line < wl.log_base + LOG_LINES && *line >= wl.log_base =>
+                {
+                    Some(*line)
+                }
                 _ => None,
             })
             .collect();
-        assert!(log_writes.windows(2).all(|w| w[1] == w[0] + 1 || w[1] == wl.log_base));
+        assert!(log_writes
+            .windows(2)
+            .all(|w| w[1] == w[0] + 1 || w[1] == wl.log_base));
     }
 }

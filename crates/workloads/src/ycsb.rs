@@ -11,9 +11,8 @@ use crate::heap::{Pmem, VolatileSet};
 use crate::micro::{HEAP_BASE, HEAP_LINES};
 use crate::zipf::Zipfian;
 use crate::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use star_mem::TraceSink;
+use star_rng::SimRng;
 
 /// Number of keys in the store.
 const KEYS: u64 = 1 << 16;
@@ -30,7 +29,7 @@ pub struct YcsbWorkload {
     log_head: u64,
     volatile: VolatileSet,
     zipf: Zipfian,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl YcsbWorkload {
@@ -49,7 +48,7 @@ impl YcsbWorkload {
             log_head: 0,
             volatile,
             zipf: Zipfian::new(KEYS, 0.99),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
         }
     }
 
@@ -106,7 +105,10 @@ mod tests {
         wl.run(400, &mut sink);
         assert!(sink.read_count() > 100);
         assert!(sink.write_count() > 100);
-        assert!(sink.clwb_count() <= sink.write_count(), "volatile stores are never persisted");
+        assert!(
+            sink.clwb_count() <= sink.write_count(),
+            "volatile stores are never persisted"
+        );
         assert!(sink.clwb_count() > 100, "updates persist");
     }
 

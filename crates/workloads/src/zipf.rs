@@ -1,7 +1,7 @@
 //! A Zipfian index generator (Gray et al., "Quickly generating
 //! billion-record synthetic databases"), as used by YCSB.
 
-use rand::Rng;
+use star_rng::SimRng;
 
 /// Draws indices in `0..n` with Zipfian skew `theta` (YCSB default 0.99).
 #[derive(Debug, Clone)]
@@ -46,8 +46,8 @@ impl Zipfian {
     }
 
     /// Draws the next Zipf-distributed index in `0..n` (0 is hottest).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u: f64 = rng.gen_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
@@ -68,13 +68,10 @@ impl Zipfian {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     #[test]
     fn samples_stay_in_range() {
         let z = Zipfian::new(1000, 0.99);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 1000);
         }
@@ -83,7 +80,7 @@ mod tests {
     #[test]
     fn distribution_is_skewed() {
         let z = Zipfian::new(1000, 0.99);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let mut hot = 0;
         const DRAWS: usize = 20_000;
         for _ in 0..DRAWS {
@@ -101,7 +98,7 @@ mod tests {
     #[test]
     fn tiny_ranges_work() {
         let z = Zipfian::new(1, 0.5);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         assert_eq!(z.sample(&mut rng), 0);
     }
 

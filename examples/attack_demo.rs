@@ -37,14 +37,19 @@ fn main() {
     }
 
     let image = mem.crash();
-    println!("crashed with {} stale metadata nodes", image.stale_node_count());
+    println!(
+        "crashed with {} stale metadata nodes",
+        image.stale_node_count()
+    );
 
     // Pick a stale counter block and one of its written data children.
     let (victim_flat, victim, child) = {
         let geometry = image.geometry();
         let mut found = None;
         'outer: for flat in image.stale_nodes() {
-            let Some(node) = geometry.node_at_flat(flat) else { continue };
+            let Some(node) = geometry.node_at_flat(flat) else {
+                continue;
+            };
             if node.level != 0 {
                 continue;
             }
@@ -61,10 +66,33 @@ fn main() {
     };
 
     let attacks = [
-        ("tamper stale counters", Attack::TamperLine { addr: victim, xor_byte: 0x80 }),
-        ("replay child LSB tuple", Attack::ReplayChildTuple { child_addr: child, lsb_delta: 1 }),
-        ("replay old data line", Attack::ReplayLine { addr: replay_target, old: old_line }),
-        ("hide a stale node in the bitmap", Attack::TamperBitmap { meta_idx: victim_flat }),
+        (
+            "tamper stale counters",
+            Attack::TamperLine {
+                addr: victim,
+                xor_byte: 0x80,
+            },
+        ),
+        (
+            "replay child LSB tuple",
+            Attack::ReplayChildTuple {
+                child_addr: child,
+                lsb_delta: 1,
+            },
+        ),
+        (
+            "replay old data line",
+            Attack::ReplayLine {
+                addr: replay_target,
+                old: old_line,
+            },
+        ),
+        (
+            "hide a stale node in the bitmap",
+            Attack::TamperBitmap {
+                meta_idx: victim_flat,
+            },
+        ),
     ];
 
     for (name, attack) in attacks {

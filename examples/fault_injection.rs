@@ -1,0 +1,77 @@
+//! Fault-injection demo: crash a STAR run at chosen persist points and
+//! watch recovery either restore the exact committed state or detect the
+//! tampering — never fail silently.
+//!
+//! Three experiments on the same 200-op array workload:
+//!
+//! 1. Print the head of the persist schedule, showing data-line commits
+//!    interleaved with coalesced parent-node write-backs.
+//! 2. Crash *between* a data-line commit and the later write-back of its
+//!    parent counter/MAC node — the exact window STAR's counter-MAC
+//!    synergization plus the ADR bitmap is designed to survive — and
+//!    verify the run recovers.
+//! 3. Flip one bit of a stored MAC at the same point and verify recovery
+//!    reports detected tampering instead.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use star::core::persist::PersistPointKind;
+use star::core::SchemeKind;
+use star::metadata::SitGeometry;
+use star::workloads::WorkloadKind;
+use star_faultsim::{persist_schedule, run_case, FaultCase, FaultKind, Outcome, SimSetup};
+
+fn main() {
+    let setup = SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 200, 42);
+    let geometry = SitGeometry::new(setup.cfg.data_lines);
+
+    // 1. The persist schedule: every durable transition, numbered.
+    let schedule = persist_schedule(&setup);
+    println!(
+        "persist schedule: {} points for 200 array ops",
+        schedule.len()
+    );
+    for point in schedule.iter().take(8) {
+        println!("  #{:<4} {:?}", point.seq, point.kind);
+    }
+    println!("  ...");
+
+    // 2. Crash inside a data/parent window: find a data-line commit whose
+    // parent node is written back strictly later, and crash right at the
+    // commit — the parent's coalesced counter/MAC update is still only in
+    // the volatile metadata cache at that moment.
+    let window = schedule
+        .iter()
+        .find(|p| {
+            let PersistPointKind::DataLineCommit { line, .. } = p.kind else { return false };
+            let (parent, _) = geometry.parent_of_data(line);
+            let parent_flat = geometry.flat_index(parent);
+            schedule.iter().any(|q| {
+                q.seq > p.seq
+                    && matches!(q.kind, PersistPointKind::NodeWriteback { flat } if flat == parent_flat)
+            })
+        })
+        .expect("a small metadata cache guarantees such windows");
+    println!(
+        "\ncrash at #{} ({:?}): data durable, parent node not yet written back",
+        window.seq, window.kind
+    );
+    let result = run_case(&setup, &FaultCase::crash_only(window.seq));
+    println!("  outcome: {} — {}", result.outcome.label(), result.detail);
+    assert_eq!(result.outcome, Outcome::Recovered);
+
+    // 3. Same crash point, but the failure also flips a bit in the MAC
+    // field of the last committed data line.
+    let tampered = FaultCase {
+        crash_at: window.seq,
+        fault: FaultKind::FlipMacBit { bit: 5 },
+    };
+    println!("\nsame crash, plus one flipped MAC bit");
+    let result = run_case(&setup, &tampered);
+    println!("  outcome: {} — {}", result.outcome.label(), result.detail);
+    assert_eq!(result.outcome, Outcome::DetectedTamper);
+
+    println!("\nrecovery is exact under crashes and loud under tampering");
+}

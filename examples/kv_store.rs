@@ -23,7 +23,9 @@ fn main() {
 
     // Also write a few "important" records directly so we can check them
     // after the crash.
-    let important: Vec<(u64, u64)> = (0..32).map(|i| (500_000 + i * 7, 0xbeef_0000 + i)).collect();
+    let important: Vec<(u64, u64)> = (0..32)
+        .map(|i| (500_000 + i * 7, 0xbeef_0000 + i))
+        .collect();
     for &(line, value) in &important {
         mem.write_data(line, value);
         mem.persist_data(line);
@@ -40,7 +42,10 @@ fn main() {
 
     // Power failure.
     let mut image = mem.crash();
-    println!("power lost: {} security-metadata nodes are stale in NVM", image.stale_node_count());
+    println!(
+        "power lost: {} security-metadata nodes are stale in NVM",
+        image.stale_node_count()
+    );
 
     let recovery = star::core::recover(&mut image).expect("recovery verifies");
     println!(
@@ -49,11 +54,17 @@ fn main() {
         recovery.nvm_reads,
         recovery.recovery_time_ns as f64 / 1e6
     );
-    assert!(recovery.correct, "restored metadata matches the pre-crash cache exactly");
+    assert!(
+        recovery.correct,
+        "restored metadata matches the pre-crash cache exactly"
+    );
 
     // Reboot: a fresh controller over the recovered NVM image would now
     // verify every fetch against the restored tree. The recovery report's
     // `correct` flag asserts the restored counters equal the lost cache's,
     // so every persisted record's MAC chain is intact — including ours.
-    println!("all {} important records persisted before the crash are covered", important.len());
+    println!(
+        "all {} important records persisted before the crash are covered",
+        important.len()
+    );
 }

@@ -28,7 +28,10 @@ fn main() {
     assert_eq!(mem.read_data(999), expected[999]);
 
     let report = mem.report();
-    println!("ran {} instructions at IPC {:.2}", report.instructions, report.ipc);
+    println!(
+        "ran {} instructions at IPC {:.2}",
+        report.instructions, report.ipc
+    );
     println!(
         "NVM traffic: {} reads, {} writes ({} bitmap-line writes)",
         report.nvm.total_reads(),
@@ -43,7 +46,9 @@ fn main() {
     );
 
     // Pull the plug. The ADR flushes the bitmap lines; caches are lost.
-    let recovery = mem.crash_and_recover().expect("attack-free recovery verifies");
+    let recovery = mem
+        .crash_and_recover()
+        .expect("attack-free recovery verifies");
     println!(
         "recovered {} stale metadata nodes in {:.3} ms (modeled), verified={}, exact={}",
         recovery.stale_count,

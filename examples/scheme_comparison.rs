@@ -17,7 +17,10 @@ fn main() {
         .next()
         .map(|s| WorkloadKind::from_label(&s).expect("unknown workload"))
         .unwrap_or(WorkloadKind::Tpcc);
-    let ops: usize = args.next().map(|s| s.parse().expect("ops must be a number")).unwrap_or(10_000);
+    let ops: usize = args
+        .next()
+        .map(|s| s.parse().expect("ops must be a number"))
+        .unwrap_or(10_000);
 
     println!("workload: {workload}, {ops} operations\n");
     println!(
@@ -36,7 +39,10 @@ fn main() {
         }
         let recovery = mem.crash_and_recover();
         let (rec_str, verified) = match &recovery {
-            Ok(r) => (format!("{:.3} ms", r.recovery_time_ns as f64 / 1e6), r.verified.to_string()),
+            Ok(r) => (
+                format!("{:.3} ms", r.recovery_time_ns as f64 / 1e6),
+                r.verified.to_string(),
+            ),
             Err(RecoveryError::NotRecoverable(_)) => ("unsupported".into(), "-".into()),
             Err(e) => (format!("{e}"), "false".into()),
         };

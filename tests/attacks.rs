@@ -12,7 +12,10 @@ fn crash_image(kind: WorkloadKind) -> star::core::CrashImage {
     let mut wl = kind.instantiate(5);
     wl.run(1_500, &mut mem);
     let image = mem.crash();
-    assert!(image.stale_node_count() > 0, "{kind} must leave stale metadata");
+    assert!(
+        image.stale_node_count() > 0,
+        "{kind} must leave stale metadata"
+    );
     image
 }
 
@@ -21,7 +24,9 @@ fn crash_image(kind: WorkloadKind) -> star::core::CrashImage {
 fn stale_cb_and_child(image: &star::core::CrashImage) -> (u64, LineAddr, LineAddr) {
     let geometry = image.geometry().clone();
     for flat in image.stale_nodes() {
-        let Some(node) = geometry.node_at_flat(flat) else { continue };
+        let Some(node) = geometry.node_at_flat(flat) else {
+            continue;
+        };
         if node.level != 0 {
             continue;
         }
@@ -41,7 +46,10 @@ fn stale_cb_and_child(image: &star::core::CrashImage) -> (u64, LineAddr, LineAdd
 fn expect_detected(mut image: star::core::CrashImage, attack: Attack, label: &str) {
     image.apply_attack(&attack);
     match recover(&mut image) {
-        Err(RecoveryError::AttackDetected { expected, recomputed }) => {
+        Err(RecoveryError::AttackDetected {
+            expected,
+            recomputed,
+        }) => {
             assert_ne!(expected, recomputed, "{label}: roots must differ");
         }
         other => panic!("{label}: expected detection, got {other:?}"),
@@ -50,7 +58,11 @@ fn expect_detected(mut image: star::core::CrashImage, attack: Attack, label: &st
 
 #[test]
 fn tampering_detected_across_workloads() {
-    for kind in [WorkloadKind::Array, WorkloadKind::Tpcc, WorkloadKind::Rbtree] {
+    for kind in [
+        WorkloadKind::Array,
+        WorkloadKind::Tpcc,
+        WorkloadKind::Rbtree,
+    ] {
         let image = crash_image(kind);
         // Tamper a genuinely stale node (its NVM MSBs feed recovery).
         let geometry = image.geometry().clone();
@@ -58,7 +70,10 @@ fn tampering_detected_across_workloads() {
         let node = geometry.node_at_flat(flat).expect("metadata");
         expect_detected(
             image,
-            Attack::TamperLine { addr: geometry.line_of(node), xor_byte: 0x40 },
+            Attack::TamperLine {
+                addr: geometry.line_of(node),
+                xor_byte: 0x40,
+            },
             &format!("tamper/{kind}"),
         );
     }
@@ -70,7 +85,10 @@ fn lsb_replay_detected() {
     let (_, _, child) = stale_cb_and_child(&image);
     expect_detected(
         image,
-        Attack::ReplayChildTuple { child_addr: child, lsb_delta: 1 },
+        Attack::ReplayChildTuple {
+            child_addr: child,
+            lsb_delta: 1,
+        },
         "lsb-replay",
     );
 }
@@ -81,7 +99,10 @@ fn lsb_replay_of_larger_delta_detected() {
     let (_, _, child) = stale_cb_and_child(&image);
     expect_detected(
         image,
-        Attack::ReplayChildTuple { child_addr: child, lsb_delta: 512 },
+        Attack::ReplayChildTuple {
+            child_addr: child,
+            lsb_delta: 512,
+        },
         "lsb-replay-large",
     );
 }
@@ -90,7 +111,11 @@ fn lsb_replay_of_larger_delta_detected() {
 fn bitmap_hiding_detected() {
     let image = crash_image(WorkloadKind::Ycsb);
     let (flat, _, _) = stale_cb_and_child(&image);
-    expect_detected(image, Attack::TamperBitmap { meta_idx: flat }, "bitmap-hide");
+    expect_detected(
+        image,
+        Attack::TamperBitmap { meta_idx: flat },
+        "bitmap-hide",
+    );
 }
 
 #[test]

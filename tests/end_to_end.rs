@@ -18,7 +18,9 @@ fn star_recovers_every_workload_exactly() {
     for kind in WorkloadKind::ALL {
         let mem = run(SchemeKind::Star, kind);
         assert_eq!(mem.integrity_violations(), 0, "{kind}");
-        let report = mem.crash_and_recover().unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let report = mem
+            .crash_and_recover()
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
         assert!(report.verified, "{kind}: cache-tree must verify");
         assert!(report.correct, "{kind}: {} mismatches", report.mismatches);
     }
@@ -28,7 +30,9 @@ fn star_recovers_every_workload_exactly() {
 fn anubis_recovers_every_workload_exactly() {
     for kind in WorkloadKind::ALL {
         let mem = run(SchemeKind::Anubis, kind);
-        let report = mem.crash_and_recover().unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let report = mem
+            .crash_and_recover()
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
         assert!(report.correct, "{kind}: {} mismatches", report.mismatches);
     }
 }
@@ -78,7 +82,15 @@ fn recovery_reads_follow_the_ten_per_node_model() {
     let report = mem.crash_and_recover().expect("clean");
     // 10 reads per stale node (itself + 8 children + parent), plus a few
     // bitmap lines; ragged-edge nodes may read slightly fewer children.
-    assert!(report.nvm_reads >= 9 * dirty, "{} reads for {dirty} nodes", report.nvm_reads);
-    assert!(report.nvm_reads <= 10 * dirty + 200, "{} reads for {dirty} nodes", report.nvm_reads);
+    assert!(
+        report.nvm_reads >= 9 * dirty,
+        "{} reads for {dirty} nodes",
+        report.nvm_reads
+    );
+    assert!(
+        report.nvm_reads <= 10 * dirty + 200,
+        "{} reads for {dirty} nodes",
+        report.nvm_reads
+    );
     assert_eq!(report.nvm_writes, dirty);
 }

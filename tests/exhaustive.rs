@@ -31,7 +31,11 @@ fn run_program(scheme: SchemeKind, program: &[u64]) {
         .crash_and_recover()
         .unwrap_or_else(|e| panic!("{scheme} {program:?}: {e}"));
     assert!(report.verified, "{scheme} {program:?}");
-    assert!(report.correct, "{scheme} {program:?}: {} mismatches", report.mismatches);
+    assert!(
+        report.correct,
+        "{scheme} {program:?}: {} mismatches",
+        report.mismatches
+    );
 }
 
 /// Every program of length `len` over `alphabet` lines.

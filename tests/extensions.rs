@@ -15,7 +15,11 @@ fn multithreaded_runs_recover_under_star() {
     wl.run(1_600, &mut mem); // 200 ops × 8 threads
     assert_eq!(mem.integrity_violations(), 0);
     let report = mem.crash_and_recover().expect("clean recovery");
-    assert!(report.verified && report.correct, "{} mismatches", report.mismatches);
+    assert!(
+        report.verified && report.correct,
+        "{} mismatches",
+        report.mismatches
+    );
 }
 
 #[test]
@@ -28,7 +32,10 @@ fn multithreaded_traffic_still_orders_correctly() {
     };
     let star = writes(SchemeKind::Star);
     let anubis = writes(SchemeKind::Anubis);
-    assert!(star < anubis, "STAR {star} < Anubis {anubis} with 4 threads too");
+    assert!(
+        star < anubis,
+        "STAR {star} < Anubis {anubis} with 4 threads too"
+    );
 }
 
 #[test]
@@ -72,7 +79,10 @@ fn trace_stats_describe_locality() {
 #[test]
 fn eager_updates_cost_a_branch_of_macs() {
     let run = |eager| {
-        let cfg = SecureMemConfig { eager_updates: eager, ..SecureMemConfig::default() };
+        let cfg = SecureMemConfig {
+            eager_updates: eager,
+            ..SecureMemConfig::default()
+        };
         let mut mem = SecureMemory::new(SchemeKind::WriteBack, cfg);
         for i in 0..500u64 {
             mem.write_data(i % 100, i + 1);
@@ -88,7 +98,10 @@ fn eager_updates_cost_a_branch_of_macs() {
 
 #[test]
 fn eager_rejects_star_and_anubis() {
-    let cfg = SecureMemConfig { eager_updates: true, ..SecureMemConfig::default() };
+    let cfg = SecureMemConfig {
+        eager_updates: true,
+        ..SecureMemConfig::default()
+    };
     assert!(SecureMemory::try_new(SchemeKind::Star, cfg.clone()).is_err());
     assert!(SecureMemory::try_new(SchemeKind::Anubis, cfg.clone()).is_err());
     assert!(SecureMemory::try_new(SchemeKind::WriteBack, cfg.clone()).is_ok());
@@ -110,7 +123,11 @@ fn triad_baseline_works_on_bmt_only() {
     assert_eq!(m.nvm_stats().total_writes(), 3_000, "persist_levels=2 → 3x");
     let (reads, _, verified) = m.crash_and_recover();
     assert!(verified);
-    assert_eq!(reads as usize, m.counter_blocks(), "scan scales with memory size");
+    assert_eq!(
+        reads as usize,
+        m.counter_blocks(),
+        "scan scales with memory size"
+    );
 }
 
 #[test]

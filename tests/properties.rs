@@ -1,8 +1,9 @@
-//! Property-based end-to-end tests: random program traces driven through
-//! the engine, then crashed and recovered.
+//! Randomized end-to-end tests: random program traces driven through
+//! the engine, then crashed and recovered. Seeded `star-rng` loops give
+//! deterministic, offline-buildable coverage.
 
-use proptest::prelude::*;
 use star::core::{SchemeKind, SecureMemConfig, SecureMemory};
+use star_rng::SimRng;
 
 /// A random program step.
 #[derive(Debug, Clone)]
@@ -13,13 +14,24 @@ enum Step {
     Work(u64),
 }
 
-fn step_strategy(lines: u64) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        4 => (0..lines, any::<bool>()).prop_map(|(line, persist)| Step::Write { line, persist }),
-        2 => (0..lines).prop_map(|line| Step::Read { line }),
-        1 => Just(Step::Fence),
-        1 => (1u64..500).prop_map(Step::Work),
-    ]
+/// Draws one step with the weights 4:2:1:1 (write:read:fence:work).
+fn random_step(rng: &mut SimRng, lines: u64) -> Step {
+    match rng.gen_index(8) {
+        0..=3 => Step::Write {
+            line: rng.gen_range(0..lines),
+            persist: rng.gen_bool(0.5),
+        },
+        4 | 5 => Step::Read {
+            line: rng.gen_range(0..lines),
+        },
+        6 => Step::Fence,
+        _ => Step::Work(rng.gen_range(1..500)),
+    }
+}
+
+fn random_trace(rng: &mut SimRng, lines: u64, min_len: usize, max_len: usize) -> Vec<Step> {
+    let len = min_len + rng.gen_index(max_len - min_len);
+    (0..len).map(|_| random_step(rng, lines)).collect()
 }
 
 fn drive(mem: &mut SecureMemory, steps: &[Step]) -> Vec<u64> {
@@ -38,7 +50,10 @@ fn drive(mem: &mut SecureMemory, steps: &[Step]) -> Vec<u64> {
             }
             Step::Read { line } => {
                 let got = mem.read_data(*line);
-                assert_eq!(got, shadow[*line as usize], "read must return the last write");
+                assert_eq!(
+                    got, shadow[*line as usize],
+                    "read must return the last write"
+                );
             }
             Step::Fence => mem.fence(),
             Step::Work(n) => mem.work(*n),
@@ -47,52 +62,59 @@ fn drive(mem: &mut SecureMemory, steps: &[Step]) -> Vec<u64> {
     shadow
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any interleaving of writes/persists/reads/fences recovers exactly
-    /// under STAR.
-    #[test]
-    fn star_random_traces_recover(steps in proptest::collection::vec(step_strategy(256), 1..400)) {
+/// Any interleaving of writes/persists/reads/fences recovers exactly
+/// under STAR.
+#[test]
+fn star_random_traces_recover() {
+    let mut rng = SimRng::seed_from_u64(0x7374_6172_2d72_6563);
+    for _ in 0..24 {
+        let steps = random_trace(&mut rng, 256, 1, 400);
         let mut mem = SecureMemory::new(SchemeKind::Star, SecureMemConfig::small());
         drive(&mut mem, &steps);
-        prop_assert_eq!(mem.integrity_violations(), 0);
+        assert_eq!(mem.integrity_violations(), 0);
         let report = mem.crash_and_recover().expect("attack-free recovery");
-        prop_assert!(report.verified);
-        prop_assert!(report.correct, "{} mismatches", report.mismatches);
+        assert!(report.verified);
+        assert!(report.correct, "{} mismatches", report.mismatches);
     }
+}
 
-    /// The same traces under Anubis also recover exactly.
-    #[test]
-    fn anubis_random_traces_recover(steps in proptest::collection::vec(step_strategy(256), 1..300)) {
+/// The same traces under Anubis also recover exactly.
+#[test]
+fn anubis_random_traces_recover() {
+    let mut rng = SimRng::seed_from_u64(0x616e_7562_2d72_6563);
+    for _ in 0..24 {
+        let steps = random_trace(&mut rng, 256, 1, 300);
         let mut mem = SecureMemory::new(SchemeKind::Anubis, SecureMemConfig::small());
         drive(&mut mem, &steps);
         let report = mem.crash_and_recover().expect("recovery");
-        prop_assert!(report.correct, "{} mismatches", report.mismatches);
+        assert!(report.correct, "{} mismatches", report.mismatches);
     }
+}
 
-    /// Reads always see the program's latest value, under any scheme.
-    #[test]
-    fn reads_are_coherent_under_all_schemes(
-        steps in proptest::collection::vec(step_strategy(64), 1..200),
-        scheme_idx in 0usize..4,
-    ) {
-        let scheme = SchemeKind::ALL[scheme_idx];
+/// Reads always see the program's latest value, under any scheme.
+#[test]
+fn reads_are_coherent_under_all_schemes() {
+    let mut rng = SimRng::seed_from_u64(0x636f_6865_2d61_6c6c);
+    for round in 0..24 {
+        let steps = random_trace(&mut rng, 64, 1, 200);
+        let scheme = SchemeKind::ALL[round % SchemeKind::ALL.len()];
         let mut mem = SecureMemory::new(scheme, SecureMemConfig::small());
         drive(&mut mem, &steps); // drive() asserts on every read
-        prop_assert_eq!(mem.integrity_violations(), 0);
+        assert_eq!(mem.integrity_violations(), 0);
     }
+}
 
-    /// Write traffic ordering STAR <= Anubis holds for arbitrary traces.
-    #[test]
-    fn star_never_writes_more_than_anubis(
-        steps in proptest::collection::vec(step_strategy(128), 50..250),
-    ) {
+/// Write traffic ordering STAR <= Anubis holds for arbitrary traces.
+#[test]
+fn star_never_writes_more_than_anubis() {
+    let mut rng = SimRng::seed_from_u64(0x7374_6172_3c61_6e75);
+    for _ in 0..12 {
+        let steps = random_trace(&mut rng, 128, 50, 250);
         let run = |scheme| {
             let mut mem = SecureMemory::new(scheme, SecureMemConfig::small());
             drive(&mut mem, &steps);
             mem.report().total_writes()
         };
-        prop_assert!(run(SchemeKind::Star) <= run(SchemeKind::Anubis));
+        assert!(run(SchemeKind::Star) <= run(SchemeKind::Anubis));
     }
 }
