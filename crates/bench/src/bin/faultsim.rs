@@ -4,13 +4,16 @@
 //! faultsim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N]
 //!          [--seed S] [--fault crash|drop-wpq|torn|flip-mac|flip-counter]
 //!          [--exhaustive] [--max-cases N] [--sample-seed S]
-//!          [--lsb-bits B] [--json PATH]
+//!          [--lsb-bits B] [--threads N] [--json PATH]
 //! ```
 //!
 //! Replays the (workload, scheme, seed) run once per persist point with a
 //! crash injected there, recovers, classifies every case, and prints a
-//! summary table. `--json PATH` additionally writes the full
-//! machine-readable report (`-` for stdout).
+//! summary table. `--threads N` shards the replays across a fixed pool
+//! of N workers; the report (including `--json` bytes) is identical for
+//! every thread count — see `star_sweep`'s determinism contract.
+//! `--json PATH` additionally writes the full machine-readable report
+//! (`-` for stdout).
 //!
 //! Exit status: 0 when no explored case was silently corrupted, 1
 //! otherwise — so a CI smoke run is just
@@ -30,6 +33,7 @@ struct Options {
     exhaustive: bool,
     max_cases: usize,
     sample_seed: u64,
+    threads: usize,
     lsb_bits: Option<u32>,
     json: Option<String>,
 }
@@ -45,6 +49,7 @@ impl Default for Options {
             exhaustive: false,
             max_cases: 256,
             sample_seed: 1,
+            threads: 1,
             lsb_bits: None,
             json: None,
         }
@@ -55,7 +60,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: faultsim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N] \
          [--seed S] [--fault crash|drop-wpq|torn|flip-mac|flip-counter] [--exhaustive] \
-         [--max-cases N] [--sample-seed S] [--lsb-bits B] [--json PATH]"
+         [--max-cases N] [--sample-seed S] [--lsb-bits B] [--threads N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -98,6 +103,7 @@ fn parse_args() -> Options {
             "--sample-seed" => {
                 opts.sample_seed = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--threads" => opts.threads = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--lsb-bits" => {
                 opts.lsb_bits = Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
             }
@@ -126,11 +132,12 @@ fn main() {
         exhaustive: opts.exhaustive,
         max_cases: opts.max_cases,
         sample_seed: opts.sample_seed,
+        threads: opts.threads,
     };
 
     eprintln!(
-        "exploring crash schedule: {} x {} ops under {} (fault: {})...",
-        opts.workload, opts.ops, opts.scheme, opts.fault
+        "exploring crash schedule: {} x {} ops under {} (fault: {}, {} threads)...",
+        opts.workload, opts.ops, opts.scheme, opts.fault, opts.threads
     );
     let report = explore(&plan);
     print!("{}", report.summary_table());

@@ -103,16 +103,15 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
-    let cfg = SecureMemConfig {
-        metadata_cache_bytes: opts.cache_kb << 10,
-        adr_bitmap_lines: opts.adr_lines,
-        counter_lsb_bits: opts.lsb_bits,
-        ..SecureMemConfig::default()
-    };
-    if let Err(msg) = cfg.validate() {
-        eprintln!("invalid configuration: {msg}");
-        std::process::exit(2);
-    }
+    let cfg = SecureMemConfig::builder()
+        .metadata_cache_bytes(opts.cache_kb << 10)
+        .adr_bitmap_lines(opts.adr_lines)
+        .counter_lsb_bits(opts.lsb_bits)
+        .build()
+        .unwrap_or_else(|err| {
+            eprintln!("invalid configuration: {err}");
+            std::process::exit(2);
+        });
 
     let mut mem = SecureMemory::new(opts.scheme, cfg);
     let mut wl: Box<dyn Workload> = if opts.threads > 1 {

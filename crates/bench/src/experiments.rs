@@ -1,11 +1,22 @@
 //! The per-figure experiments (see DESIGN.md's experiment index).
+//!
+//! The grid-shaped experiments (the scheme × workload sweep behind
+//! Figs. 10–13, Table II, Fig. 14a/b) run their independent cells on the
+//! deterministic parallel sweep runner (`star_sweep`), sharded across
+//! [`ExperimentConfig::jobs`] worker threads. Every cell is keyed by its
+//! serial enumeration rank and results merge in key order, so any job
+//! count reproduces the serial output — including the JSON bytes of
+//! [`sweep_to_json`] — exactly.
 
 use crate::harness::{run_and_crash, run_scheme, ExperimentConfig};
+use star_core::report::schema_preamble;
 use star_core::star::bitmap::BitmapLayout;
 use star_core::{RunReport, SchemeKind};
 use star_metadata::SitGeometry;
 use star_nvm::AccessClass;
+use star_sweep::{run_merged, SweepKey};
 use star_workloads::WorkloadKind;
+use std::fmt::Write as _;
 
 /// One workload's reports under all four schemes.
 #[derive(Debug)]
@@ -45,18 +56,74 @@ impl SchemeSweepRow {
 }
 
 /// Runs every workload under every scheme (the shared sweep behind
-/// Figs. 10–13).
+/// Figs. 10–13) — one sweep job per (workload, scheme) cell, sharded
+/// across `cfg.jobs` workers and merged back in row-major cell order.
 pub fn scheme_sweep(cfg: &ExperimentConfig) -> Vec<SchemeSweepRow> {
+    let seed = cfg.seed;
+    let jobs: Vec<(SweepKey, (WorkloadKind, SchemeKind))> = WorkloadKind::ALL
+        .into_iter()
+        .enumerate()
+        .flat_map(|(wi, workload)| {
+            SchemeKind::ALL
+                .into_iter()
+                .enumerate()
+                .map(move |(si, scheme)| {
+                    (
+                        SweepKey {
+                            rank: (wi * SchemeKind::ALL.len() + si) as u64,
+                            workload: workload.label(),
+                            scheme: scheme.label(),
+                            seed,
+                            case: 0,
+                        },
+                        (workload, scheme),
+                    )
+                })
+        })
+        .collect();
+    let cells = run_merged(cfg.jobs, jobs, |_, &(workload, scheme)| {
+        run_scheme(scheme, workload, cfg)
+    });
     WorkloadKind::ALL
         .into_iter()
-        .map(|workload| SchemeSweepRow {
+        .zip(cells.chunks_exact(SchemeKind::ALL.len()))
+        .map(|(workload, reports)| SchemeSweepRow {
             workload,
             reports: SchemeKind::ALL
                 .into_iter()
-                .map(|scheme| (scheme, run_scheme(scheme, workload, cfg)))
+                .zip(reports.iter().cloned())
                 .collect(),
         })
         .collect()
+}
+
+/// A scheme sweep as one versioned JSON object (shared schema:
+/// `star_core::report`): the grid configuration and, per workload row,
+/// the full [`RunReport`] of every scheme. Byte-identical for any
+/// `cfg.jobs` value.
+pub fn sweep_to_json(cfg: &ExperimentConfig, sweep: &[SchemeSweepRow]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&schema_preamble("scheme-sweep"));
+    let _ = write!(
+        out,
+        "\"ops\":{},\"seed\":{},\"threads\":{},\"rows\":[",
+        cfg.ops, cfg.seed, cfg.threads
+    );
+    for (i, row) in sweep.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"workload\":\"{}\",\"reports\":{{", row.workload);
+        for (j, (scheme, report)) in row.reports.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", scheme.label(), report.to_json());
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Fig. 10: WB write count vs STAR bitmap-line write count.
@@ -107,35 +174,76 @@ pub fn extra_traffic_reduction(sweep: &[SchemeSweepRow]) -> f64 {
     1.0 - star_extra as f64 / anubis_extra as f64
 }
 
-/// Table II: ADR hit ratio vs number of resident bitmap lines.
+/// Table II: ADR hit ratio vs number of resident bitmap lines — one
+/// sweep job per (ADR budget, workload) cell, averaged per budget after
+/// the ordered merge.
 pub fn table2(cfg: &ExperimentConfig, adr_lines: &[usize]) -> Vec<(usize, f64)> {
+    let seed = cfg.seed;
+    let jobs: Vec<(SweepKey, (usize, WorkloadKind))> = adr_lines
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, &lines)| {
+            WorkloadKind::ALL
+                .into_iter()
+                .enumerate()
+                .map(move |(wi, workload)| {
+                    (
+                        SweepKey {
+                            rank: (ai * WorkloadKind::ALL.len() + wi) as u64,
+                            workload: workload.label(),
+                            scheme: SchemeKind::Star.label(),
+                            seed,
+                            case: lines as u64,
+                        },
+                        (lines, workload),
+                    )
+                })
+        })
+        .collect();
+    let reports = run_merged(cfg.jobs, jobs, |_, &(lines, workload)| {
+        let mut cfg = cfg.clone();
+        cfg.mem.adr_bitmap_lines = lines;
+        run_scheme(SchemeKind::Star, workload, &cfg)
+    });
     adr_lines
         .iter()
-        .map(|&lines| {
-            let mut cfg = cfg.clone();
-            cfg.mem.adr_bitmap_lines = lines;
-            let mut ratios = Vec::new();
-            for workload in WorkloadKind::ALL {
-                let report = run_scheme(SchemeKind::Star, workload, &cfg);
-                let bitmap = report.bitmap.expect("STAR reports bitmap stats");
-                if bitmap.accesses > 0 {
-                    ratios.push(bitmap.hit_ratio());
-                }
-            }
+        .zip(reports.chunks_exact(WorkloadKind::ALL.len()))
+        .map(|(&lines, row)| {
+            let ratios: Vec<f64> = row
+                .iter()
+                .filter_map(|report| {
+                    let bitmap = report.bitmap.as_ref().expect("STAR reports bitmap stats");
+                    (bitmap.accesses > 0).then(|| bitmap.hit_ratio())
+                })
+                .collect();
             (lines, ratios.iter().sum::<f64>() / ratios.len() as f64)
         })
         .collect()
 }
 
-/// Fig. 14a: dirty fraction of the metadata cache at crash time.
+/// Fig. 14a: dirty fraction of the metadata cache at crash time, one
+/// sweep job per workload.
 pub fn fig14a(cfg: &ExperimentConfig) -> Vec<(WorkloadKind, f64)> {
-    WorkloadKind::ALL
+    let jobs: Vec<(SweepKey, WorkloadKind)> = WorkloadKind::ALL
         .into_iter()
-        .map(|workload| {
-            let out = run_and_crash(SchemeKind::Star, workload, cfg);
-            (workload, out.dirty_fraction)
+        .enumerate()
+        .map(|(wi, workload)| {
+            (
+                SweepKey {
+                    rank: wi as u64,
+                    workload: workload.label(),
+                    scheme: SchemeKind::Star.label(),
+                    seed: cfg.seed,
+                    case: 0,
+                },
+                workload,
+            )
         })
-        .collect()
+        .collect();
+    run_merged(cfg.jobs, jobs, |_, &workload| {
+        let out = run_and_crash(SchemeKind::Star, workload, cfg);
+        (workload, out.dirty_fraction)
+    })
 }
 
 /// One point of Fig. 14b: recovery time vs metadata cache size.
@@ -151,41 +259,54 @@ pub struct Fig14bRow {
     pub anubis_s: f64,
 }
 
-/// Fig. 14b: sweep the metadata cache size. A large (48 MB) array keeps
-/// every cache size mostly dirty at the crash point, matching the paper's
-/// linear scaling.
+/// Fig. 14b: sweep the metadata cache size — one sweep job per cache
+/// size. A large (48 MB) array keeps every cache size mostly dirty at
+/// the crash point, matching the paper's linear scaling.
 pub fn fig14b(cfg: &ExperimentConfig, cache_bytes: &[usize]) -> Vec<Fig14bRow> {
     use star_core::SecureMemory;
     use star_workloads::micro::ArrayWorkload;
     use star_workloads::Workload;
-    cache_bytes
+    let jobs: Vec<(SweepKey, usize)> = cache_bytes
         .iter()
-        .map(|&bytes| {
-            let mut cfg = cfg.clone();
-            cfg.mem.metadata_cache_bytes = bytes;
-            // Enough operations to fill the cache with dirty metadata.
-            cfg.ops = cfg.ops.max(3 * bytes / 64);
-            let crash = |scheme| {
-                let mut mem = SecureMemory::new(scheme, cfg.mem.clone());
-                let mut wl = ArrayWorkload::with_bytes(cfg.seed, 48 << 20);
-                wl.run(cfg.ops, &mut mem);
-                let dirty = mem.dirty_metadata_count();
-                let mut image = mem.crash();
-                (
-                    dirty,
-                    star_core::recover(&mut image).expect("clean recovery"),
-                )
-            };
-            let (star_dirty, star) = crash(SchemeKind::Star);
-            let (_, anubis) = crash(SchemeKind::Anubis);
-            Fig14bRow {
-                cache_bytes: bytes,
-                star_stale: star_dirty,
-                star_s: star.recovery_time_s(),
-                anubis_s: anubis.recovery_time_s(),
-            }
+        .enumerate()
+        .map(|(ci, &bytes)| {
+            (
+                SweepKey {
+                    rank: ci as u64,
+                    workload: "array-48mb",
+                    scheme: SchemeKind::Star.label(),
+                    seed: cfg.seed,
+                    case: bytes as u64,
+                },
+                bytes,
+            )
         })
-        .collect()
+        .collect();
+    run_merged(cfg.jobs, jobs, |_, &bytes| {
+        let mut cfg = cfg.clone();
+        cfg.mem.metadata_cache_bytes = bytes;
+        // Enough operations to fill the cache with dirty metadata.
+        cfg.ops = cfg.ops.max(3 * bytes / 64);
+        let crash = |scheme| {
+            let mut mem = SecureMemory::new(scheme, cfg.mem.clone());
+            let mut wl = ArrayWorkload::with_bytes(cfg.seed, 48 << 20);
+            wl.run(cfg.ops, &mut mem);
+            let dirty = mem.dirty_metadata_count();
+            let mut image = mem.crash();
+            (
+                dirty,
+                star_core::recover(&mut image).expect("clean recovery"),
+            )
+        };
+        let (star_dirty, star) = crash(SchemeKind::Star);
+        let (_, anubis) = crash(SchemeKind::Anubis);
+        Fig14bRow {
+            cache_bytes: bytes,
+            star_stale: star_dirty,
+            star_s: star.recovery_time_s(),
+            anubis_s: anubis.recovery_time_s(),
+        }
+    })
 }
 
 /// Ablation: sensitivity to the number of synergized LSB bits (smaller
@@ -315,5 +436,30 @@ mod tests {
     fn multilayer_index_reduces_reads() {
         let (with, without) = ablate_multilayer_index(&quick());
         assert!(with < without);
+    }
+
+    /// Determinism contract of the parallel grid: the scheme sweep — and
+    /// its JSON — is a pure function of the config, whatever `jobs` is.
+    #[test]
+    fn parallel_sweep_grid_is_byte_identical_across_job_counts() {
+        let serial_cfg = ExperimentConfig {
+            ops: 120,
+            ..Default::default()
+        };
+        let serial = scheme_sweep(&serial_cfg);
+        let serial_json = sweep_to_json(&serial_cfg, &serial);
+        for jobs in [2, 4] {
+            let cfg = ExperimentConfig {
+                ops: 120,
+                ..Default::default()
+            }
+            .with_jobs(jobs);
+            let parallel = scheme_sweep(&cfg);
+            assert_eq!(
+                sweep_to_json(&cfg, &parallel),
+                serial_json,
+                "{jobs} jobs: byte-identical JSON"
+            );
+        }
     }
 }

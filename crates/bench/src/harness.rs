@@ -15,6 +15,11 @@ pub struct ExperimentConfig {
     /// Simulated threads (the paper runs 8; 1 keeps sweeps fast and the
     /// normalized results are thread-count-insensitive).
     pub threads: usize,
+    /// Host worker threads the experiment grids shard their independent
+    /// cells across (the figures binary's `--jobs`). Results are merged
+    /// in cell order, so any value reproduces the `jobs == 1` output
+    /// exactly — see `star_sweep`'s determinism contract.
+    pub jobs: usize,
     /// Engine configuration (paper Table I defaults).
     pub mem: SecureMemConfig,
 }
@@ -25,6 +30,7 @@ impl Default for ExperimentConfig {
             ops: 20_000,
             seed: 42,
             threads: 1,
+            jobs: 1,
             mem: SecureMemConfig::default(),
         }
     }
@@ -41,6 +47,13 @@ impl ExperimentConfig {
     /// `--threads`).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the host worker-thread count for grid sweeps (the figures
+    /// binary's `--jobs`).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
         self
     }
 

@@ -3,6 +3,71 @@
 use star_mem::{CoreConfig, HierarchyConfig};
 use star_nvm::NvmConfig;
 
+/// Why a [`SecureMemConfig`] (or the scheme it was paired with) was
+/// rejected.
+///
+/// Replaces the stringly-typed `Result<_, String>` the engine
+/// constructor used to return: callers can now match on the variant
+/// (e.g. a sweep driver distinguishing a bad grid axis from an
+/// incompatible scheme) while `Display` keeps the original
+/// human-readable messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `data_lines` was zero.
+    NoDataLines,
+    /// The metadata cache cannot hold even one full set.
+    MetadataCacheTooSmall {
+        /// Capacity in lines implied by `metadata_cache_bytes`.
+        lines: usize,
+        /// Requested associativity.
+        ways: usize,
+    },
+    /// Fewer than the two ADR-resident bitmap lines the multi-layer
+    /// index needs (one per layer).
+    AdrBudgetTooSmall {
+        /// Requested `adr_bitmap_lines`.
+        got: usize,
+    },
+    /// `counter_lsb_bits` outside the 1..=10 spare MAC bits.
+    CounterLsbBitsOutOfRange {
+        /// Requested width.
+        got: u32,
+    },
+    /// `eager_updates` paired with a scheme built on the lazy SIT
+    /// update scheme (STAR, Anubis).
+    EagerUpdatesIncompatible {
+        /// The offending scheme.
+        scheme: SchemeKind,
+    },
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::NoDataLines => f.write_str("data_lines must be positive"),
+            ConfigError::MetadataCacheTooSmall { lines, ways } => write!(
+                f,
+                "metadata cache smaller than one set ({lines} lines, {ways} ways)"
+            ),
+            ConfigError::AdrBudgetTooSmall { got } => write!(
+                f,
+                "need at least 2 bitmap lines in ADR (one per layer), got {got}"
+            ),
+            ConfigError::CounterLsbBitsOutOfRange { got } => {
+                write!(f, "counter_lsb_bits must be in 1..=10, got {got}")
+            }
+            ConfigError::EagerUpdatesIncompatible { scheme } => write!(
+                f,
+                "{scheme} is designed for the lazy SIT update scheme; eager_updates only \
+                 composes with WB and Strict"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which persistence scheme the engine runs (paper §IV-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
@@ -120,21 +185,140 @@ impl SecureMemConfig {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message when a field is out of range.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated invariant as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.data_lines == 0 {
-            return Err("data_lines must be positive".into());
+            return Err(ConfigError::NoDataLines);
         }
         if self.metadata_cache_lines() < self.metadata_cache_ways {
-            return Err("metadata cache smaller than one set".into());
+            return Err(ConfigError::MetadataCacheTooSmall {
+                lines: self.metadata_cache_lines(),
+                ways: self.metadata_cache_ways,
+            });
         }
         if self.adr_bitmap_lines < 2 {
-            return Err("need at least 2 bitmap lines in ADR (one per layer)".into());
+            return Err(ConfigError::AdrBudgetTooSmall {
+                got: self.adr_bitmap_lines,
+            });
         }
         if self.counter_lsb_bits == 0 || self.counter_lsb_bits > 10 {
-            return Err("counter_lsb_bits must be in 1..=10".into());
+            return Err(ConfigError::CounterLsbBitsOutOfRange {
+                got: self.counter_lsb_bits,
+            });
         }
         Ok(())
+    }
+
+    /// A builder starting from the paper's Table I defaults.
+    pub fn builder() -> SecureMemConfigBuilder {
+        SecureMemConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// A builder starting from this configuration — e.g.
+    /// `SecureMemConfig::small().to_builder()` to tweak the test
+    /// geometry.
+    pub fn to_builder(&self) -> SecureMemConfigBuilder {
+        SecureMemConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// Builds a validated [`SecureMemConfig`].
+///
+/// Setters record the requested values without judging them; the
+/// capacity/geometry/ADR-budget invariants are checked once, at
+/// [`build`](SecureMemConfigBuilder::build), so sweep drivers can
+/// construct candidate configurations programmatically from grid specs
+/// and reject the invalid cells with a typed [`ConfigError`] instead of
+/// a panic deep inside the engine.
+///
+/// ```
+/// use star_core::SecureMemConfig;
+///
+/// let cfg = SecureMemConfig::builder()
+///     .data_lines(1 << 14)
+///     .metadata_cache_bytes(4 << 10)
+///     .metadata_cache_ways(4)
+///     .adr_bitmap_lines(4)
+///     .build()
+///     .expect("consistent configuration");
+/// assert_eq!(cfg.metadata_cache_sets(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecureMemConfigBuilder {
+    cfg: SecureMemConfig,
+}
+
+impl SecureMemConfigBuilder {
+    /// Number of user-data lines.
+    pub fn data_lines(mut self, lines: u64) -> Self {
+        self.cfg.data_lines = lines;
+        self
+    }
+
+    /// Metadata cache capacity in bytes.
+    pub fn metadata_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.metadata_cache_bytes = bytes;
+        self
+    }
+
+    /// Metadata cache associativity.
+    pub fn metadata_cache_ways(mut self, ways: usize) -> Self {
+        self.cfg.metadata_cache_ways = ways;
+        self
+    }
+
+    /// Number of bitmap lines resident in ADR.
+    pub fn adr_bitmap_lines(mut self, lines: usize) -> Self {
+        self.cfg.adr_bitmap_lines = lines;
+        self
+    }
+
+    /// Spare MAC bits used for parent-counter LSBs.
+    pub fn counter_lsb_bits(mut self, bits: u32) -> Self {
+        self.cfg.counter_lsb_bits = bits;
+        self
+    }
+
+    /// NVM device model parameters.
+    pub fn nvm(mut self, nvm: NvmConfig) -> Self {
+        self.cfg.nvm = nvm;
+        self
+    }
+
+    /// CPU cache hierarchy parameters.
+    pub fn hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.cfg.hierarchy = hierarchy;
+        self
+    }
+
+    /// Core timing model parameters.
+    pub fn core(mut self, core: CoreConfig) -> Self {
+        self.cfg.core = core;
+        self
+    }
+
+    /// Seed for the processor MAC/encryption keys.
+    pub fn key_seed(mut self, seed: u64) -> Self {
+        self.cfg.key_seed = seed;
+        self
+    }
+
+    /// Eager SIT updates (WB/Strict ablation only).
+    pub fn eager_updates(mut self, eager: bool) -> Self {
+        self.cfg.eager_updates = eager;
+        self
+    }
+
+    /// Validates the accumulated configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`ConfigError`].
+    pub fn build(self) -> Result<SecureMemConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -164,13 +348,63 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let mut c = SecureMemConfig::small();
         c.adr_bitmap_lines = 1;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::AdrBudgetTooSmall { got: 1 }));
         c = SecureMemConfig::small();
         c.counter_lsb_bits = 11;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CounterLsbBitsOutOfRange { got: 11 })
+        );
         c = SecureMemConfig::small();
         c.data_lines = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NoDataLines));
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let cfg = SecureMemConfig::builder()
+            .data_lines(1 << 12)
+            .metadata_cache_bytes(4 << 10)
+            .metadata_cache_ways(4)
+            .adr_bitmap_lines(4)
+            .counter_lsb_bits(8)
+            .key_seed(7)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.data_lines, 1 << 12);
+        assert_eq!(cfg.counter_lsb_bits, 8);
+        assert_eq!(cfg.key_seed, 7);
+
+        let err = SecureMemConfig::builder()
+            .metadata_cache_bytes(64)
+            .metadata_cache_ways(8)
+            .build()
+            .expect_err("one 64-byte line cannot hold an 8-way set");
+        assert_eq!(
+            err,
+            ConfigError::MetadataCacheTooSmall { lines: 1, ways: 8 }
+        );
+    }
+
+    #[test]
+    fn to_builder_roundtrips() {
+        let base = SecureMemConfig::small();
+        let same = base.to_builder().build().expect("already valid");
+        assert_eq!(base, same);
+        let tweaked = base.to_builder().counter_lsb_bits(3).build().expect("ok");
+        assert_eq!(tweaked.counter_lsb_bits, 3);
+        assert_eq!(tweaked.data_lines, base.data_lines);
+    }
+
+    #[test]
+    fn config_error_is_a_std_error_with_stable_messages() {
+        let err: Box<dyn std::error::Error> = Box::new(ConfigError::NoDataLines);
+        assert_eq!(err.to_string(), "data_lines must be positive");
+        assert!(ConfigError::EagerUpdatesIncompatible {
+            scheme: SchemeKind::Star
+        }
+        .to_string()
+        .contains("lazy SIT update scheme"));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! never leaves dirty metadata behind.
 
 use crate::anubis::{StEntry, StSlotMap};
-use crate::config::{SchemeKind, SecureMemConfig};
+use crate::config::{ConfigError, SchemeKind, SecureMemConfig};
 use crate::persist::{CrashRequested, PersistPoint, PersistPointKind};
 use crate::recovery::CrashImage;
 use crate::star::bitmap::{BitmapLayout, BitmapStats, MultiLayerBitmap};
@@ -107,23 +107,22 @@ impl SecureMemory {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`SecureMemConfig::validate`].
+    /// Panics with the [`ConfigError`] display message if `cfg` fails
+    /// [`SecureMemConfig::validate`] or is incompatible with `scheme`.
     pub fn new(scheme: SchemeKind, cfg: SecureMemConfig) -> Self {
-        Self::try_new(scheme, cfg).expect("invalid SecureMemConfig")
+        Self::try_new(scheme, cfg).unwrap_or_else(|e| panic!("invalid SecureMemConfig: {e}"))
     }
 
     /// Fallible constructor.
     ///
     /// # Errors
     ///
-    /// Returns the validation message for an inconsistent configuration.
-    pub fn try_new(scheme: SchemeKind, cfg: SecureMemConfig) -> Result<Self, String> {
+    /// Returns a typed [`ConfigError`] for an inconsistent configuration
+    /// or a scheme/configuration mismatch.
+    pub fn try_new(scheme: SchemeKind, cfg: SecureMemConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         if cfg.eager_updates && matches!(scheme, SchemeKind::Star | SchemeKind::Anubis) {
-            return Err(format!(
-                "{scheme} is designed for the lazy SIT update scheme; eager_updates only \
-                 composes with WB and Strict"
-            ));
+            return Err(ConfigError::EagerUpdatesIncompatible { scheme });
         }
         let geometry = SitGeometry::new(cfg.data_lines);
         let layout = BitmapLayout::new(geometry.total_meta_lines(), geometry.meta_end());
@@ -289,7 +288,7 @@ impl SecureMemory {
     // ------------------------------------------------------------------
 
     /// Starts recording every persist point (see
-    /// [`PersistPoint`](crate::persist::PersistPoint)). Off by default.
+    /// [`PersistPoint`]). Off by default.
     pub fn enable_persist_log(&mut self) {
         self.persist_log = Some(Vec::new());
     }
@@ -305,7 +304,7 @@ impl SecureMemory {
     }
 
     /// Arms a crash at persist point `seq` (1-based): reaching it raises a
-    /// [`CrashRequested`](crate::persist::CrashRequested) panic that a
+    /// [`crate::persist::CrashRequested`] panic that a
     /// fault driver catches with `catch_unwind` before calling
     /// [`SecureMemory::crash`] on the engine it kept outside the closure.
     pub fn arm_crash_at(&mut self, seq: u64) {
@@ -996,6 +995,16 @@ impl SecureMemory {
         }
     }
 }
+
+// The parallel sweep runner (star-sweep) moves whole engines and crash
+// images across worker threads; keep that property checked at compile
+// time. `Sync` is *not* required — each job owns its engine outright.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SecureMemory>();
+    assert_send::<crate::recovery::CrashImage>();
+    assert_send::<crate::stats::RunReport>();
+};
 
 impl TraceSink for SecureMemory {
     fn on_event(&mut self, event: MemEvent) {

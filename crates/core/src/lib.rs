@@ -43,12 +43,14 @@ pub mod engine;
 pub mod osiris;
 pub mod persist;
 pub mod recovery;
+pub mod report;
 pub mod star;
 pub mod stats;
 pub mod triad;
 
-pub use config::{SchemeKind, SecureMemConfig};
+pub use config::{ConfigError, SchemeKind, SecureMemConfig, SecureMemConfigBuilder};
 pub use engine::SecureMemory;
 pub use persist::{CrashRequested, PersistPoint, PersistPointKind};
 pub use recovery::{recover, Attack, CrashImage, RecoveryError, RecoveryReport};
+pub use report::SCHEMA_VERSION;
 pub use stats::RunReport;

@@ -1,0 +1,208 @@
+//! The shared machine-readable report format.
+//!
+//! Every JSON report the simulator emits — the bench harness's
+//! [`RunReport`] grids and the fault explorer's `ExploreReport`
+//! (`star-faultsim`) — goes through this module, so they share one
+//! schema convention that downstream tooling can rely on:
+//!
+//! * a leading `"schema_version"` field ([`SCHEMA_VERSION`]) bumped on
+//!   any breaking change to either report's shape,
+//! * a `"kind"` discriminator naming the report type,
+//! * hand-rolled, dependency-free encoding via [`json_str`] /
+//!   [`json_f64`] with a fixed field order — reports are **byte-stable**
+//!   for identical runs, which the parallel sweep runner's determinism
+//!   contract (serial and parallel sweeps produce identical bytes)
+//!   depends on.
+//!
+//! Version history: schema 1 was the unversioned faultsim report of the
+//! original fault-injection PR (no `schema_version`/`kind` fields);
+//! schema 2 added both fields and the `RunReport` serialization.
+
+use crate::config::SchemeKind;
+use crate::stats::RunReport;
+use star_nvm::AccessClass;
+use std::fmt::Write as _;
+
+/// Version of the JSON report schema this build emits.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Minimal JSON string encoder (reports only ever hold ASCII labels and
+/// our own detail messages, but escape correctly anyway).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Deterministic JSON float encoding: finite values use Rust's shortest
+/// round-trip `Display`, non-finite values (JSON has none) become
+/// `null`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// The standard report preamble: `"schema_version":N,"kind":"...",`
+/// (trailing comma included), shared by every report type.
+pub fn schema_preamble(kind: &str) -> String {
+    format!(
+        "\"schema_version\":{},\"kind\":{},",
+        SCHEMA_VERSION,
+        json_str(kind)
+    )
+}
+
+/// Per-class access counts as a JSON object in [`AccessClass::ALL`]
+/// order.
+fn access_counts(count: impl Fn(AccessClass) -> u64) -> String {
+    let mut out = String::from("{");
+    for (i, class) in AccessClass::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_str(&class.to_string()), count(class));
+    }
+    out.push('}');
+    out
+}
+
+impl RunReport {
+    /// The report as one JSON object (schema in the module docs of
+    /// [`crate::report`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&schema_preamble("run-report"));
+        let _ = write!(
+            out,
+            "\"scheme\":{},\"instructions\":{},\"cycles\":{},\"ipc\":{},\"energy_pj\":{},",
+            json_str(self.scheme.label()),
+            self.instructions,
+            json_f64(self.cycles),
+            json_f64(self.ipc),
+            self.energy_pj
+        );
+        let _ = write!(
+            out,
+            "\"reads\":{},\"writes\":{},\"write_stall_ps\":{},\"read_queue_ps\":{},",
+            access_counts(|c| self.nvm.reads(c)),
+            access_counts(|c| self.nvm.writes(c)),
+            self.nvm.write_stall_ps,
+            self.nvm.read_queue_ps
+        );
+        let _ = write!(
+            out,
+            "\"dirty_metadata\":{},\"cached_metadata\":{},\"metadata_cache_capacity\":{},\
+             \"forced_flushes\":{},\"barriers\":{},\"mac_computations\":{},",
+            self.dirty_metadata,
+            self.cached_metadata,
+            self.metadata_cache_capacity,
+            self.forced_flushes,
+            self.barriers,
+            self.mac_computations
+        );
+        let _ = write!(
+            out,
+            "\"hierarchy\":{{\"l1_hits\":{},\"l2_hits\":{},\"l3_hits\":{},\"llc_misses\":{},\
+             \"writebacks\":{}}},",
+            self.hierarchy.l1_hits,
+            self.hierarchy.l2_hits,
+            self.hierarchy.l3_hits,
+            self.hierarchy.llc_misses,
+            self.hierarchy.writebacks
+        );
+        match &self.bitmap {
+            None => out.push_str("\"bitmap\":null"),
+            Some(b) => {
+                let _ = write!(
+                    out,
+                    "\"bitmap\":{{\"accesses\":{},\"adr_hits\":{},\"adr_misses\":{},\
+                     \"ra_writes\":{},\"ra_reads\":{}}}",
+                    b.accesses, b.adr_hits, b.adr_misses, b.ra_writes, b.ra_reads
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl SchemeKind {
+    /// Short machine-readable label (`wb`/`strict`/`anubis`/`star`) used
+    /// across report schemas and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::WriteBack => "wb",
+            SchemeKind::Strict => "strict",
+            SchemeKind::Anubis => "anubis",
+            SchemeKind::Star => "star",
+        }
+    }
+
+    /// Parses a short label back into a scheme.
+    pub fn from_label(label: &str) -> Option<SchemeKind> {
+        SchemeKind::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SecureMemConfig, SecureMemory};
+
+    #[test]
+    fn scheme_labels_roundtrip() {
+        for s in SchemeKind::ALL {
+            assert_eq!(SchemeKind::from_label(s.label()), Some(s));
+        }
+        assert_eq!(SchemeKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn run_report_json_is_versioned_and_balanced() {
+        let mut m = SecureMemory::new(SchemeKind::Star, SecureMemConfig::small());
+        for i in 0..50 {
+            m.write_data(i % 7, i);
+            m.persist_data(i % 7);
+        }
+        let j = m.report().to_json();
+        assert!(j.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")));
+        assert!(j.contains("\"kind\":\"run-report\""));
+        assert!(j.contains("\"scheme\":\"star\""));
+        assert!(j.contains("\"writes\":{\"data\":"));
+        assert!(j.contains("\"bitmap\":{\"accesses\":"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn wb_report_has_null_bitmap() {
+        let mut m = SecureMemory::new(SchemeKind::WriteBack, SecureMemConfig::small());
+        m.write_data(0, 1);
+        m.persist_data(0);
+        assert!(m.report().to_json().contains("\"bitmap\":null"));
+    }
+
+    #[test]
+    fn json_escaping_and_floats() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -16,6 +16,7 @@ use crate::{install_panic_filter, SimSetup};
 use star_core::persist::PersistPoint;
 use star_core::SecureMemory;
 use star_rng::SimRng;
+use star_sweep::SweepKey;
 use std::collections::BTreeSet;
 
 /// What to explore and how hard.
@@ -33,10 +34,13 @@ pub struct ExplorePlan {
     /// Seed for sampling points from over-budget schedules (independent
     /// of the workload seed so the two can be varied separately).
     pub sample_seed: u64,
+    /// Worker threads replaying cases (1 = serial; any value produces a
+    /// byte-identical report, see `star_sweep`'s determinism contract).
+    pub threads: usize,
 }
 
 impl ExplorePlan {
-    /// A clean-crash plan with the default sampling budget.
+    /// A clean-crash plan with the default sampling budget, serial.
     pub fn new(setup: SimSetup) -> Self {
         Self {
             setup,
@@ -44,6 +48,7 @@ impl ExplorePlan {
             exhaustive: false,
             max_cases: 256,
             sample_seed: 1,
+            threads: 1,
         }
     }
 
@@ -56,6 +61,12 @@ impl ExplorePlan {
     /// Same plan, forced exhaustive.
     pub fn all_points(mut self) -> Self {
         self.exhaustive = true;
+        self
+    }
+
+    /// Same plan, replaying cases on `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -91,22 +102,35 @@ pub fn chosen_points(plan: &ExplorePlan, total_points: u64) -> Vec<u64> {
 
 /// Explores the plan: one replay-and-recover case per chosen persist
 /// point, classified and collected into a machine-readable report.
+///
+/// Cases are independent replays, so they shard across
+/// `plan.threads` workers (see [`star_sweep`]); results merge back in
+/// persist-point order, making the report — including its JSON bytes —
+/// identical for every thread count.
 pub fn explore(plan: &ExplorePlan) -> ExploreReport {
     let schedule = persist_schedule(&plan.setup);
     let total_points = schedule.len() as u64;
     let points = chosen_points(plan, total_points);
-    let cases: Vec<CaseResult> = points
+    let jobs: Vec<(SweepKey, FaultCase)> = points
         .iter()
         .map(|&seq| {
-            run_case(
-                &plan.setup,
-                &FaultCase {
+            (
+                SweepKey {
+                    rank: seq,
+                    workload: plan.setup.workload.label(),
+                    scheme: plan.setup.scheme.label(),
+                    seed: plan.setup.seed,
+                    case: seq,
+                },
+                FaultCase {
                     crash_at: seq,
                     fault: plan.fault,
                 },
             )
         })
         .collect();
+    let cases: Vec<CaseResult> =
+        star_sweep::run_merged(plan.threads, jobs, |_, case| run_case(&plan.setup, case));
     ExploreReport {
         scheme: plan.setup.scheme,
         workload: plan.setup.workload,

@@ -18,7 +18,7 @@
 //!    line mid-write ([`FaultKind::TornWrite`]), or flipping stored
 //!    MAC/counter bits ([`FaultKind::FlipMacBit`],
 //!    [`FaultKind::FlipCounterBit`]).
-//! 3. **Exploration** — [`explore`] replays the run once per schedule
+//! 3. **Exploration** — [`fn@explore`] replays the run once per schedule
 //!    point with the crash injected there (exhaustively below a case
 //!    budget, seeded-random sampling above), runs the scheme's recovery,
 //!    and classifies each case as [`Outcome::Recovered`],
@@ -98,13 +98,13 @@ impl SimSetup {
     /// small (4 KB) so even short runs produce evictions — and therefore
     /// `NodeWriteback` persist points — worth crashing on.
     pub fn faultsim_config() -> SecureMemConfig {
-        SecureMemConfig {
-            data_lines: star_workloads::micro::HEAP_BASE + star_workloads::micro::HEAP_LINES,
-            metadata_cache_bytes: 4 << 10,
-            metadata_cache_ways: 4,
-            adr_bitmap_lines: 4,
-            ..SecureMemConfig::default()
-        }
+        SecureMemConfig::builder()
+            .data_lines(star_workloads::micro::HEAP_BASE + star_workloads::micro::HEAP_LINES)
+            .metadata_cache_bytes(4 << 10)
+            .metadata_cache_ways(4)
+            .adr_bitmap_lines(4)
+            .build()
+            .expect("faultsim geometry is consistent")
     }
 
     /// Short scheme label used in reports (`wb`/`strict`/`anubis`/`star`).
@@ -113,21 +113,15 @@ impl SimSetup {
     }
 }
 
-/// Short report label for a scheme.
+/// Short report label for a scheme (now canonical on
+/// [`SchemeKind::label`]; kept as a function for existing callers).
 pub fn scheme_label(scheme: SchemeKind) -> &'static str {
-    match scheme {
-        SchemeKind::WriteBack => "wb",
-        SchemeKind::Strict => "strict",
-        SchemeKind::Anubis => "anubis",
-        SchemeKind::Star => "star",
-    }
+    scheme.label()
 }
 
 /// Parses a short scheme label (`wb`/`strict`/`anubis`/`star`).
 pub fn scheme_from_label(label: &str) -> Option<SchemeKind> {
-    SchemeKind::ALL
-        .into_iter()
-        .find(|s| scheme_label(*s) == label)
+    SchemeKind::from_label(label)
 }
 
 static INSTALL_FILTER: Once = Once::new();
@@ -138,7 +132,7 @@ thread_local! {
 
 /// Installs (once, process-wide) a panic hook that stays silent for the
 /// panics fault injection provokes on purpose: [`CrashRequested`]
-/// payloads, and anything raised while a [`catch_quiet`] scope is active
+/// payloads, and anything raised while a `catch_quiet` scope is active
 /// on the current thread. All other panics print as usual.
 pub fn install_panic_filter() {
     INSTALL_FILTER.call_once(|| {

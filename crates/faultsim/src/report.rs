@@ -1,10 +1,12 @@
 //! Machine-readable exploration reports.
 //!
-//! JSON is emitted by hand (the simulator carries no serialization
-//! dependency); the schema is flat and stable:
+//! JSON is emitted by hand through the shared report module
+//! (`star_core::report`, which also defines the schema version and the
+//! `RunReport` serialization); the schema is flat and stable:
 //!
 //! ```json
 //! {
+//!   "schema_version": 2, "kind": "explore-report",
 //!   "scheme": "star", "workload": "array", "ops": 500, "seed": 42,
 //!   "fault": "crash-only", "total_points": 1234, "exhaustive": true,
 //!   "outcomes": { "recovered": 1230, "detected-tamper": 4,
@@ -20,11 +22,12 @@
 use crate::case::{kind_label, CaseResult, Outcome};
 use crate::fault::FaultKind;
 use crate::scheme_label;
+use star_core::report::{json_str, schema_preamble};
 use star_core::SchemeKind;
 use star_workloads::WorkloadKind;
 use std::fmt::Write as _;
 
-/// Everything one [`explore`](crate::explore) run produced.
+/// Everything one [`explore`](fn@crate::explore) run produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExploreReport {
     /// Scheme under test.
@@ -110,6 +113,7 @@ impl ExploreReport {
     /// The full report as a JSON object (schema in the module docs).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
+        out.push_str(&schema_preamble("explore-report"));
         let _ = write!(
             out,
             "\"scheme\":{},\"workload\":{},\"ops\":{},\"seed\":{},\"fault\":{},",
@@ -158,28 +162,6 @@ impl ExploreReport {
     }
 }
 
-/// Minimal JSON string encoder (the report only ever holds ASCII labels
-/// and our own detail messages, but escape correctly anyway).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,8 +204,12 @@ mod tests {
     }
 
     #[test]
-    fn json_escapes_specials() {
-        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    fn json_carries_schema_version_and_kind() {
+        let j = tiny_report().to_json();
+        assert!(j.starts_with(&format!(
+            "{{\"schema_version\":{},\"kind\":\"explore-report\",",
+            star_core::SCHEMA_VERSION
+        )));
     }
 
     #[test]

@@ -262,6 +262,27 @@ fn exploration_is_deterministic_and_reports_are_machine_readable() {
     assert_eq!(json.matches("\"crash_at\"").count(), a.cases.len());
 }
 
+/// The determinism contract of the parallel sweep runner, end to end:
+/// the explore report — down to its JSON bytes — is a pure function of
+/// the plan, regardless of how many worker threads replay the cases.
+#[test]
+fn parallel_exploration_is_byte_identical_across_thread_counts() {
+    let plan =
+        ExplorePlan::new(SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 60, 42)).all_points();
+    let serial = explore(&plan.clone().with_threads(1));
+    assert!(serial.total_points > 8, "sweep must be big enough to shard");
+    let serial_json = serial.to_json();
+    for threads in [2, 4] {
+        let parallel = explore(&plan.clone().with_threads(threads));
+        assert_eq!(parallel, serial, "{threads} threads: same report");
+        assert_eq!(
+            parallel.to_json(),
+            serial_json,
+            "{threads} threads: byte-identical JSON"
+        );
+    }
+}
+
 /// Crashing past the end of the schedule is reported, not misclassified.
 #[test]
 fn crash_beyond_schedule_is_not_reached() {

@@ -1,0 +1,233 @@
+//! Deterministic parallel sweep runner.
+//!
+//! Crash-schedule exploration and the bench figure grids are
+//! embarrassingly parallel: every job — one crash case, one
+//! (workload × scheme) cell — builds and drives its own independent
+//! engine. This crate shards such jobs across a fixed-size pool of
+//! `std::thread` workers pulling from a shared work queue, then merges
+//! the results **in key order**, so the output of a sweep is a pure
+//! function of its job list: byte-identical regardless of thread count,
+//! scheduling, or which worker ran which job.
+//!
+//! # Determinism contract
+//!
+//! 1. Every job carries a key with a total order ([`SweepKey`], or any
+//!    `Ord` type via [`run_keyed`]). Keys must be unique within a sweep.
+//! 2. Jobs are sorted by key before dispatch and results are merged back
+//!    in key order — a worker finishing early or late cannot reorder the
+//!    output.
+//! 3. Job functions must themselves be deterministic in their inputs
+//!    (the engine, workloads and `star-rng` all are) and must not share
+//!    mutable state; the `Fn(&K, &J) -> R + Sync` bound and the absence
+//!    of mutable statics in the simulator enforce the latter.
+//!
+//! Under this contract `threads == 1` reproduces the serial sweep
+//! exactly, and any other thread count reproduces `threads == 1`.
+//!
+//! ```
+//! use star_sweep::run_keyed;
+//!
+//! let jobs: Vec<(u64, u64)> = (0..100).map(|i| (i, i)).collect();
+//! let serial = run_keyed(1, jobs.clone(), |_, &j| j * j);
+//! let parallel = run_keyed(4, jobs, |_, &j| j * j);
+//! assert_eq!(serial, parallel);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// The stable identity of one sweep job.
+///
+/// Field order is the sort order: `rank` — the job's position in the
+/// serial enumeration — comes first so that a parallel merge reproduces
+/// exactly the order a serial loop would have produced, whatever the
+/// label spelling. The remaining fields make the key self-describing and
+/// globally unique across composed sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SweepKey {
+    /// Position of this job in the serial enumeration (primary order).
+    pub rank: u64,
+    /// Workload label (`array`, `ycsb`, ...).
+    pub workload: &'static str,
+    /// Scheme label (`wb`, `strict`, `anubis`, `star`).
+    pub scheme: &'static str,
+    /// Workload seed.
+    pub seed: u64,
+    /// Case id within the (workload, scheme, seed) cell — the persist
+    /// point for a crash sweep, the cell ordinal for a figure grid.
+    pub case: u64,
+}
+
+impl core::fmt::Display for SweepKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}/{}/seed{}/case{}",
+            self.workload, self.scheme, self.seed, self.case
+        )
+    }
+}
+
+/// Runs every `(key, job)` through `f` on a pool of `threads` workers
+/// and returns `(key, result)` pairs **in key order**.
+///
+/// `threads` is clamped to `1..=jobs.len()`; `threads <= 1` runs the
+/// jobs inline on the caller's thread in the same order, so a serial
+/// sweep and a 1-thread sweep are the same code path.
+///
+/// # Panics
+///
+/// Panics if two jobs share a key (the ordered merge would be
+/// ambiguous), and propagates the first panic of any job after the pool
+/// has drained or abandoned the remaining jobs.
+pub fn run_keyed<K, J, R, F>(threads: usize, mut jobs: Vec<(K, J)>, f: F) -> Vec<(K, R)>
+where
+    K: Ord + Send + Sync,
+    J: Send + Sync,
+    R: Send,
+    F: Fn(&K, &J) -> R + Sync,
+{
+    jobs.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(
+        jobs.windows(2).all(|w| w[0].0 < w[1].0),
+        "sweep keys must be unique"
+    );
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        return jobs
+            .into_iter()
+            .map(|(k, j)| {
+                let r = f(&k, &j);
+                (k, r)
+            })
+            .collect();
+    }
+
+    // Work queue: a shared cursor over the key-sorted job list. Each
+    // completed result lands in its job's slot, so the merge below is
+    // just a zip — no reordering can survive to the output.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((k, j)) = jobs.get(i) else { break };
+                let r = f(k, j);
+                *slots[i].lock().expect("no poisoned result slot") = Some(r);
+            });
+        }
+    });
+    jobs.into_iter()
+        .zip(slots)
+        .map(|((k, _), slot)| {
+            let r = slot
+                .into_inner()
+                .expect("no poisoned result slot")
+                .expect("every job completed");
+            (k, r)
+        })
+        .collect()
+}
+
+/// [`run_keyed`] for sweeps that only need the results: returns them in
+/// key order, dropping the keys.
+pub fn run_merged<K, J, R, F>(threads: usize, jobs: Vec<(K, J)>, f: F) -> Vec<R>
+where
+    K: Ord + Send + Sync,
+    J: Send + Sync,
+    R: Send,
+    F: Fn(&K, &J) -> R + Sync,
+{
+    run_keyed(threads, jobs, f)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyed(n: u64) -> Vec<(SweepKey, u64)> {
+        (0..n)
+            .map(|i| {
+                (
+                    SweepKey {
+                        rank: i,
+                        workload: "array",
+                        scheme: "star",
+                        seed: 42,
+                        case: i,
+                    },
+                    i,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_thread_count() {
+        let serial = run_keyed(1, keyed(97), |_, &j| j.wrapping_mul(0x9e37_79b9));
+        for threads in [2, 3, 4, 8, 200] {
+            let par = run_keyed(threads, keyed(97), |_, &j| j.wrapping_mul(0x9e37_79b9));
+            assert_eq!(serial, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_key_order_even_when_submitted_shuffled() {
+        let mut jobs = keyed(50);
+        jobs.reverse();
+        jobs.swap(3, 40);
+        let out = run_keyed(4, jobs, |k, _| k.case);
+        let cases: Vec<u64> = out.iter().map(|(_, c)| *c).collect();
+        assert_eq!(cases, (0..50).collect::<Vec<u64>>());
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn rank_dominates_label_order() {
+        // zebra ranks before apple: serial enumeration order wins over
+        // alphabetical labels.
+        let a = SweepKey {
+            rank: 0,
+            workload: "zebra",
+            scheme: "star",
+            seed: 0,
+            case: 0,
+        };
+        let b = SweepKey {
+            rank: 1,
+            workload: "apple",
+            scheme: "star",
+            seed: 0,
+            case: 0,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn empty_and_single_job_sweeps_work() {
+        let none: Vec<(u64, u64)> = Vec::new();
+        assert!(run_keyed(4, none, |_, &j| j).is_empty());
+        assert_eq!(run_merged(4, vec![(7u64, 3u64)], |_, &j| j + 1), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_keys_are_rejected() {
+        run_keyed(2, vec![(1u64, 0u64), (1u64, 1u64)], |_, &j| j);
+    }
+
+    #[test]
+    fn oversubscribed_pool_is_clamped() {
+        // More threads than jobs must not hang or skip work.
+        let out = run_merged(64, keyed(3), |_, &j| j);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

@@ -44,7 +44,11 @@ use star_mem::TraceSink;
 
 /// A benchmark that drives a [`TraceSink`] (usually the secure memory
 /// engine) with its reference stream.
-pub trait Workload {
+///
+/// `Send` is a supertrait so a boxed workload can move into a worker
+/// thread of the parallel sweep runner (`star-sweep`) together with the
+/// engine it drives.
+pub trait Workload: Send {
     /// Short name, as the paper's figures label it.
     fn name(&self) -> &'static str;
 

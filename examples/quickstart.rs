@@ -11,7 +11,14 @@ fn main() {
     // A memory controller with the paper's Table I configuration:
     // 16 GB PCM, 512 KB metadata cache, 9-level SGX integrity tree,
     // 16 bitmap lines in ADR, counter-MAC synergization enabled.
-    let mut mem = SecureMemory::new(SchemeKind::Star, SecureMemConfig::default());
+    // The builder validates at `build()`; inconsistent geometries come
+    // back as a typed `star::core::ConfigError` instead of a panic.
+    let cfg = SecureMemConfig::builder()
+        .metadata_cache_bytes(512 << 10)
+        .adr_bitmap_lines(16)
+        .build()
+        .expect("Table I configuration is consistent");
+    let mut mem = SecureMemory::new(SchemeKind::Star, cfg);
 
     // A tiny "application": persist 10 000 updates over 1 000 lines.
     let mut expected = vec![0u64; 1_000];

@@ -116,10 +116,10 @@ fn osiris_recovers_data_counters_at_every_prefix() {
 #[test]
 fn star_recovers_across_forced_flushes() {
     // Tiny window: forced flushes every 7 bumps.
-    let cfg = SecureMemConfig {
-        counter_lsb_bits: 3,
-        ..SecureMemConfig::default()
-    };
+    let cfg = SecureMemConfig::builder()
+        .counter_lsb_bits(3)
+        .build()
+        .expect("valid config");
     let mut mem = SecureMemory::new(SchemeKind::Star, cfg);
     for i in 0..600u64 {
         mem.write_data(i % 4, i + 1); // hammer four lines → same counters

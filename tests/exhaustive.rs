@@ -9,13 +9,13 @@
 use star::core::{SchemeKind, SecureMemConfig, SecureMemory};
 
 fn tiny_config() -> SecureMemConfig {
-    SecureMemConfig {
-        data_lines: 64,
-        metadata_cache_bytes: 128, // two 64-byte lines
-        metadata_cache_ways: 2,
-        adr_bitmap_lines: 2,
-        ..SecureMemConfig::default()
-    }
+    SecureMemConfig::builder()
+        .data_lines(64)
+        .metadata_cache_bytes(128) // two 64-byte lines
+        .metadata_cache_ways(2)
+        .adr_bitmap_lines(2)
+        .build()
+        .expect("tiny geometry is consistent")
 }
 
 /// Runs one program (a sequence of line indices, each written+persisted)

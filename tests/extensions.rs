@@ -79,10 +79,10 @@ fn trace_stats_describe_locality() {
 #[test]
 fn eager_updates_cost_a_branch_of_macs() {
     let run = |eager| {
-        let cfg = SecureMemConfig {
-            eager_updates: eager,
-            ..SecureMemConfig::default()
-        };
+        let cfg = SecureMemConfig::builder()
+            .eager_updates(eager)
+            .build()
+            .expect("valid config");
         let mut mem = SecureMemory::new(SchemeKind::WriteBack, cfg);
         for i in 0..500u64 {
             mem.write_data(i % 100, i + 1);
@@ -98,12 +98,22 @@ fn eager_updates_cost_a_branch_of_macs() {
 
 #[test]
 fn eager_rejects_star_and_anubis() {
-    let cfg = SecureMemConfig {
-        eager_updates: true,
-        ..SecureMemConfig::default()
-    };
-    assert!(SecureMemory::try_new(SchemeKind::Star, cfg.clone()).is_err());
-    assert!(SecureMemory::try_new(SchemeKind::Anubis, cfg.clone()).is_err());
+    let cfg = SecureMemConfig::builder()
+        .eager_updates(true)
+        .build()
+        .expect("eager alone is valid; the scheme pairing is checked by try_new");
+    assert_eq!(
+        SecureMemory::try_new(SchemeKind::Star, cfg.clone()).err(),
+        Some(star::core::ConfigError::EagerUpdatesIncompatible {
+            scheme: SchemeKind::Star
+        })
+    );
+    assert_eq!(
+        SecureMemory::try_new(SchemeKind::Anubis, cfg.clone()).err(),
+        Some(star::core::ConfigError::EagerUpdatesIncompatible {
+            scheme: SchemeKind::Anubis
+        })
+    );
     assert!(SecureMemory::try_new(SchemeKind::WriteBack, cfg.clone()).is_ok());
     assert!(SecureMemory::try_new(SchemeKind::Strict, cfg).is_ok());
 }
