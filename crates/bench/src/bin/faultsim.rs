@@ -5,6 +5,7 @@
 //!          [--seed S] [--fault crash|drop-wpq|torn|flip-mac|flip-counter]
 //!          [--exhaustive] [--max-cases N] [--sample-seed S]
 //!          [--lsb-bits B] [--threads N] [--json PATH]
+//!          [--trace PATH] [--trace-case SEQ] [--trace-filter CATS]
 //! ```
 //!
 //! Replays the (workload, scheme, seed) run once per persist point with a
@@ -15,12 +16,23 @@
 //! `--json PATH` additionally writes the full machine-readable report
 //! (`-` for stdout).
 //!
+//! `--trace PATH` re-runs one explored case with star-trace recording on
+//! and writes its timeline — pre-crash engine activity, the injected
+//! crash and fault as `fault`-category instants, and the recovery phases
+//! on the same simulated clock — as Chrome trace-event JSON (`.jsonl`
+//! for JSONL). `--trace-case SEQ` picks the persist point (default: the
+//! first explored case). `--trace-filter` narrows the categories.
+//!
 //! Exit status: 0 when no explored case was silently corrupted, 1
 //! otherwise — so a CI smoke run is just
 //! `faultsim --scheme star --workload array --ops 50 --exhaustive`.
 
+use star_core::report::{trace_to_chrome_json, trace_to_jsonl};
 use star_core::SchemeKind;
-use star_faultsim::{explore, scheme_from_label, ExplorePlan, FaultKind, SimSetup};
+use star_faultsim::{
+    explore, run_case_traced, scheme_from_label, ExplorePlan, FaultCase, FaultKind, SimSetup,
+};
+use star_trace::{CatMask, TracePart};
 use star_workloads::WorkloadKind;
 
 #[derive(Debug)]
@@ -36,6 +48,9 @@ struct Options {
     threads: usize,
     lsb_bits: Option<u32>,
     json: Option<String>,
+    trace: Option<String>,
+    trace_case: Option<u64>,
+    trace_filter: CatMask,
 }
 
 impl Default for Options {
@@ -52,6 +67,9 @@ impl Default for Options {
             threads: 1,
             lsb_bits: None,
             json: None,
+            trace: None,
+            trace_case: None,
+            trace_filter: CatMask::ALL,
         }
     }
 }
@@ -60,7 +78,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: faultsim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N] \
          [--seed S] [--fault crash|drop-wpq|torn|flip-mac|flip-counter] [--exhaustive] \
-         [--max-cases N] [--sample-seed S] [--lsb-bits B] [--threads N] [--json PATH]"
+         [--max-cases N] [--sample-seed S] [--lsb-bits B] [--threads N] [--json PATH] \
+         [--trace PATH] [--trace-case SEQ] [--trace-filter CATS]"
     );
     std::process::exit(2);
 }
@@ -108,6 +127,16 @@ fn parse_args() -> Options {
                 opts.lsb_bits = Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--json" => opts.json = Some(value(&args, &mut i)),
+            "--trace" => opts.trace = Some(value(&args, &mut i)),
+            "--trace-case" => {
+                opts.trace_case = Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--trace-filter" => {
+                opts.trace_filter = CatMask::parse(&value(&args, &mut i)).unwrap_or_else(|err| {
+                    eprintln!("{err}");
+                    usage()
+                })
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -152,6 +181,53 @@ fn main() {
         } else {
             eprintln!("wrote JSON report to {path}");
         }
+    }
+
+    if let Some(path) = &opts.trace {
+        let seq = opts
+            .trace_case
+            .or_else(|| report.cases.first().map(|c| c.crash_at))
+            .unwrap_or_else(|| {
+                eprintln!("--trace: no explored case to replay");
+                std::process::exit(2);
+            });
+        let case = FaultCase {
+            crash_at: seq,
+            fault: opts.fault,
+        };
+        eprintln!("replaying case at persist point {seq} with tracing...");
+        let (result, trace) = run_case_traced(&plan.setup, &case, opts.trace_filter);
+        eprintln!(
+            "traced case outcome: {} ({})",
+            result.outcome, result.detail
+        );
+        let label = format!(
+            "{}/{}/case-{seq}",
+            opts.workload.label(),
+            opts.scheme.label()
+        );
+        let part = TracePart {
+            pid: 1,
+            label: &label,
+            events: &trace.events,
+            hists: Some(&trace.hists),
+        };
+        let doc = if path.ends_with(".jsonl") {
+            trace_to_jsonl(&[part])
+        } else {
+            trace_to_chrome_json(&[part])
+        };
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write trace {path}: {e}");
+            std::process::exit(2);
+        }
+        if trace.dropped > 0 {
+            eprintln!(
+                "trace: WARNING: {} events dropped (ring buffer full)",
+                trace.dropped
+            );
+        }
+        eprintln!("trace: {} events -> {path}", trace.events.len());
     }
 
     if !report.clean() {

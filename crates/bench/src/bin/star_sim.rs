@@ -4,13 +4,22 @@
 //! star-sim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N]
 //!          [--threads T] [--cache-kb K] [--adr-lines L] [--lsb-bits B]
 //!          [--seed S] [--crash] [--attack tamper|replay|bitmap]
+//!          [--trace PATH] [--trace-filter CATS]
 //! ```
 //!
 //! Prints the run report; with `--crash`, also crashes and recovers
 //! (optionally under an attack, which must be detected).
+//!
+//! `--trace PATH` writes the run's star-trace timeline to `PATH` —
+//! Chrome trace-event JSON (load in Perfetto) by default, JSONL when
+//! the path ends in `.jsonl`. `--trace-filter` narrows the recorded
+//! categories (comma list, e.g. `persist,nvm`; default `all`). With
+//! `--crash`, the recovery phases continue on the same timeline.
 
-use star_core::recovery::{recover, Attack};
+use star_core::recovery::{recover_traced, Attack};
+use star_core::report::{trace_to_chrome_json, trace_to_jsonl};
 use star_core::{SchemeKind, SecureMemConfig, SecureMemory};
+use star_trace::{merge, CatMask, TraceEvent, TracePart, TraceRecorder};
 use star_workloads::{MultiThreaded, Workload, WorkloadKind};
 
 #[derive(Debug)]
@@ -25,6 +34,8 @@ struct Options {
     seed: u64,
     crash: bool,
     attack: Option<String>,
+    trace: Option<String>,
+    trace_filter: CatMask,
 }
 
 impl Default for Options {
@@ -40,6 +51,8 @@ impl Default for Options {
             seed: 42,
             crash: false,
             attack: None,
+            trace: None,
+            trace_filter: CatMask::ALL,
         }
     }
 }
@@ -48,7 +61,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: star-sim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N] \
          [--threads T] [--cache-kb K] [--adr-lines L] [--lsb-bits B] [--seed S] \
-         [--crash] [--attack tamper|replay|bitmap]"
+         [--crash] [--attack tamper|replay|bitmap] [--trace PATH] [--trace-filter CATS]"
     );
     std::process::exit(2);
 }
@@ -93,6 +106,13 @@ fn parse_args() -> Options {
                 opts.attack = Some(value(&args, &mut i));
                 opts.crash = true;
             }
+            "--trace" => opts.trace = Some(value(&args, &mut i)),
+            "--trace-filter" => {
+                opts.trace_filter = CatMask::parse(&value(&args, &mut i)).unwrap_or_else(|err| {
+                    eprintln!("{err}");
+                    usage()
+                })
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -114,6 +134,9 @@ fn main() {
         });
 
     let mut mem = SecureMemory::new(opts.scheme, cfg);
+    if opts.trace.is_some() {
+        mem.enable_trace(opts.trace_filter, 0);
+    }
     let mut wl: Box<dyn Workload> = if opts.threads > 1 {
         Box::new(MultiThreaded::new(opts.workload, opts.threads, opts.seed))
     } else {
@@ -149,7 +172,10 @@ fn main() {
         "  shadow table:    {}",
         report.nvm.writes(star_nvm::AccessClass::ShadowTable)
     );
-    println!("energy:            {:.2} uJ", report.energy_pj as f64 / 1e6);
+    println!(
+        "energy:            {:.2} uJ",
+        report.energy_pj() as f64 / 1e6
+    );
     println!(
         "metadata cache:    {}/{} dirty ({:.1}%)",
         report.dirty_metadata,
@@ -166,8 +192,25 @@ fn main() {
     }
     println!("forced flushes:    {}", report.forced_flushes);
 
+    // Detach the timeline before a potential crash (which consumes the
+    // engine); recovery events are recorded separately and appended.
+    let label = format!("{}/{}", opts.workload.label(), opts.scheme.label());
+    let run_events = mem.trace_events();
+    let run_hists = mem.trace_histograms().clone();
+    let run_dropped = mem.trace_dropped();
+    let crash_ps = mem.now_ps();
+
     if !opts.crash {
+        if let Some(path) = &opts.trace {
+            write_trace(path, &label, &run_events, &run_hists, run_dropped);
+        }
         return;
+    }
+
+    let mut recovery_rec = TraceRecorder::off();
+    if opts.trace.is_some() {
+        recovery_rec.enable(opts.trace_filter, 0);
+        recovery_rec.set_now(crash_ps);
     }
 
     let mut image = mem.crash();
@@ -208,7 +251,7 @@ fn main() {
         image.apply_attack(&attack);
     }
 
-    match recover(&mut image) {
+    match recover_traced(&mut image, &mut recovery_rec) {
         Ok(report) => {
             println!(
                 "recovery: {} nodes restored, {} reads + {} writes, {:.3} ms (modeled), \
@@ -232,4 +275,46 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = &opts.trace {
+        let recovery_events = recovery_rec.events();
+        let merged = merge(&[&run_events, &recovery_events]);
+        write_trace(
+            path,
+            &label,
+            &merged,
+            &run_hists,
+            run_dropped + recovery_rec.dropped(),
+        );
+    }
+}
+
+/// Serializes `events` to `path` — JSONL when the path ends in
+/// `.jsonl`, Chrome trace-event JSON otherwise.
+fn write_trace(
+    path: &str,
+    label: &str,
+    events: &[TraceEvent],
+    hists: &star_trace::Histograms,
+    dropped: u64,
+) {
+    let part = TracePart {
+        pid: 1,
+        label,
+        events,
+        hists: Some(hists),
+    };
+    let doc = if path.ends_with(".jsonl") {
+        trace_to_jsonl(&[part])
+    } else {
+        trace_to_chrome_json(&[part])
+    };
+    if let Err(err) = std::fs::write(path, doc) {
+        eprintln!("cannot write trace {path}: {err}");
+        std::process::exit(1);
+    }
+    if dropped > 0 {
+        eprintln!("trace: WARNING: {dropped} events dropped (ring buffer full)");
+    }
+    eprintln!("trace: {} events -> {path}", events.len());
 }

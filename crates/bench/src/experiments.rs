@@ -8,13 +8,14 @@
 //! count reproduces the serial output — including the JSON bytes of
 //! [`sweep_to_json`] — exactly.
 
-use crate::harness::{run_and_crash, run_scheme, ExperimentConfig};
+use crate::harness::{run_and_crash, run_scheme, run_scheme_traced, ExperimentConfig, RunTrace};
 use star_core::report::schema_preamble;
 use star_core::star::bitmap::BitmapLayout;
 use star_core::{RunReport, SchemeKind};
 use star_metadata::SitGeometry;
 use star_nvm::AccessClass;
 use star_sweep::{run_merged, SweepKey};
+use star_trace::CatMask;
 use star_workloads::WorkloadKind;
 use std::fmt::Write as _;
 
@@ -51,7 +52,8 @@ impl SchemeSweepRow {
 
     /// Energy of `scheme` normalized to WB.
     pub fn energy_vs_wb(&self, scheme: SchemeKind) -> f64 {
-        self.report(scheme).energy_pj as f64 / self.report(SchemeKind::WriteBack).energy_pj as f64
+        self.report(scheme).energy_pj() as f64
+            / self.report(SchemeKind::WriteBack).energy_pj() as f64
     }
 }
 
@@ -95,6 +97,40 @@ pub fn scheme_sweep(cfg: &ExperimentConfig) -> Vec<SchemeSweepRow> {
                 .collect(),
         })
         .collect()
+}
+
+/// The scheme sweep with tracing on: runs the same (workload × scheme)
+/// grid as [`scheme_sweep`] with every cell's recorders enabled for
+/// `mask` and returns the per-cell timelines in row-major cell order.
+/// Cells are sharded across `cfg.jobs` workers and merged back in key
+/// order, and events carry only simulated time, so the returned traces
+/// (and any export of them) are byte-identical for any `cfg.jobs`.
+pub fn traced_sweep(cfg: &ExperimentConfig, mask: CatMask) -> Vec<RunTrace> {
+    let seed = cfg.seed;
+    let jobs: Vec<(SweepKey, (WorkloadKind, SchemeKind))> = WorkloadKind::ALL
+        .into_iter()
+        .enumerate()
+        .flat_map(|(wi, workload)| {
+            SchemeKind::ALL
+                .into_iter()
+                .enumerate()
+                .map(move |(si, scheme)| {
+                    (
+                        SweepKey {
+                            rank: (wi * SchemeKind::ALL.len() + si) as u64,
+                            workload: workload.label(),
+                            scheme: scheme.label(),
+                            seed,
+                            case: 0,
+                        },
+                        (workload, scheme),
+                    )
+                })
+        })
+        .collect();
+    run_merged(cfg.jobs, jobs, |_, &(workload, scheme)| {
+        run_scheme_traced(scheme, workload, cfg, mask).1
+    })
 }
 
 /// A scheme sweep as one versioned JSON object (shared schema:

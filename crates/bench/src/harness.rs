@@ -3,6 +3,7 @@
 use star_core::{
     RecoveryError, RecoveryReport, RunReport, SchemeKind, SecureMemConfig, SecureMemory,
 };
+use star_trace::{CatMask, Histograms, TraceEvent, TracePart};
 use star_workloads::{MultiThreaded, Workload, WorkloadKind};
 
 /// How one experiment run is configured.
@@ -86,6 +87,59 @@ pub fn run_scheme(scheme: SchemeKind, kind: WorkloadKind, cfg: &ExperimentConfig
     let mut wl = cfg.instantiate(kind);
     wl.run(cfg.ops, &mut mem);
     mem.report()
+}
+
+/// The owned timeline of one traced run: the merged event stream plus
+/// the device histograms, detached from the engine so sweep cells can
+/// ship it across host threads.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// `workload/scheme` track label shown by the trace viewers.
+    pub label: String,
+    /// Merged events in stable timestamp order.
+    pub events: Vec<TraceEvent>,
+    /// Device latency / queue-depth histograms.
+    pub hists: Histograms,
+    /// Events lost to ring-buffer wrap-around across all components.
+    pub dropped: u64,
+}
+
+impl RunTrace {
+    /// Borrows this trace as an exporter part under process id `pid`.
+    pub fn part(&self, pid: u64) -> TracePart<'_> {
+        TracePart {
+            pid,
+            label: &self.label,
+            events: &self.events,
+            hists: Some(&self.hists),
+        }
+    }
+}
+
+/// [`run_scheme`] with tracing enabled for `mask`: returns the report
+/// plus the run's owned timeline. A `mask` of [`CatMask::NONE`] still
+/// returns an (empty) trace, which is how the zero-overhead gate tests
+/// compare enabled/disabled report bytes through one code path.
+pub fn run_scheme_traced(
+    scheme: SchemeKind,
+    kind: WorkloadKind,
+    cfg: &ExperimentConfig,
+    mask: CatMask,
+) -> (RunReport, RunTrace) {
+    let mut mem = SecureMemory::new(scheme, cfg.mem.clone());
+    if mask != CatMask::NONE {
+        mem.enable_trace(mask, 0);
+    }
+    let mut wl = cfg.instantiate(kind);
+    wl.run(cfg.ops, &mut mem);
+    let report = mem.report();
+    let trace = RunTrace {
+        label: format!("{}/{}", kind.label(), scheme.label()),
+        events: mem.trace_events(),
+        hists: mem.trace_histograms().clone(),
+        dropped: mem.trace_dropped(),
+    };
+    (report, trace)
 }
 
 /// Runs `kind` under `scheme`, crashes at the end, and recovers.

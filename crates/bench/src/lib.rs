@@ -14,4 +14,4 @@ pub mod harness;
 pub mod microbench;
 pub mod paper;
 
-pub use harness::{run_scheme, CrashOutcome, ExperimentConfig};
+pub use harness::{run_scheme, run_scheme_traced, CrashOutcome, ExperimentConfig, RunTrace};

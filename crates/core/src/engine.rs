@@ -36,6 +36,7 @@ use star_crypto::mac::MacKey;
 use star_mem::{CacheHierarchy, MemEvent, MemSideOp, SetAssocCache, SimpleCore, TraceSink};
 use star_metadata::{DataLine, MacField, Node64, NodeId, SitGeometry, SitMac};
 use star_nvm::{AccessClass, LineAddr, NvmDevice, NvmStats, WriteJournal};
+use star_trace::{CatMask, Histograms, TraceCategory, TraceEvent, TraceRecorder};
 use std::collections::HashMap;
 
 /// A metadata node resident in the metadata cache, with the per-slot
@@ -100,6 +101,11 @@ pub struct SecureMemory {
     persist_seq: u64,
     persist_log: Option<Vec<PersistPoint>>,
     crash_at: Option<u64>,
+    /// Structured event recorder for the engine's own events (persist
+    /// points, metadata-cache traffic). The device and the CPU hierarchy
+    /// carry their own recorders; [`SecureMemory::enable_trace`] turns
+    /// all three on and [`SecureMemory::trace_events`] merges them.
+    trace: TraceRecorder,
 }
 
 impl SecureMemory {
@@ -156,6 +162,7 @@ impl SecureMemory {
             persist_seq: 0,
             persist_log: None,
             crash_at: None,
+            trace: TraceRecorder::off(),
             cfg,
         })
     }
@@ -225,13 +232,17 @@ impl SecureMemory {
 
     /// Builds the aggregate run report for the figures.
     pub fn report(&self) -> RunReport {
+        let stats = self.nvm.stats();
+        let energy = self.cfg.nvm.energy;
         RunReport {
             scheme: self.scheme,
-            nvm: self.nvm.stats().clone(),
+            nvm: stats.clone(),
             instructions: self.core.instructions(),
             cycles: self.core.cycles(),
             ipc: self.core.ipc(),
-            energy_pj: self.nvm.stats().energy_pj,
+            energy_read_pj: energy.read_pj * stats.total_reads(),
+            energy_write_pj: energy.write_pj * stats.total_writes(),
+            wear: self.nvm.wear().summary(),
             bitmap: self.bitmap_stats(),
             dirty_metadata: self.meta_cache.dirty_count(),
             cached_metadata: self.meta_cache.len(),
@@ -333,6 +344,56 @@ impl SecureMemory {
         self.now()
     }
 
+    // ------------------------------------------------------------------
+    // Structured tracing (star-trace).
+    // ------------------------------------------------------------------
+
+    /// Enables structured tracing for the categories in `mask` across all
+    /// three recorders (engine, cache hierarchy, NVM device), each with a
+    /// ring of `events_per_component` events (0 picks
+    /// [`star_trace::record::DEFAULT_CAPACITY`]). Off by default; a
+    /// disabled recorder costs one predictable branch per emission site
+    /// and never allocates.
+    pub fn enable_trace(&mut self, mask: CatMask, events_per_component: usize) {
+        self.trace.enable(mask, events_per_component);
+        self.nvm.trace_mut().enable(mask, events_per_component);
+        self.hierarchy
+            .trace_mut()
+            .enable(mask, events_per_component);
+    }
+
+    /// The engine's own event recorder (persist points, metadata cache).
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Mutable access to the engine recorder, for callers that annotate
+    /// the timeline with their own events (e.g. fault injection).
+    pub fn trace_mut(&mut self) -> &mut TraceRecorder {
+        &mut self.trace
+    }
+
+    /// Every buffered event from the engine, hierarchy, and device
+    /// recorders, merged into one timeline ordered by simulated
+    /// timestamp (ties keep the fixed engine → hierarchy → device
+    /// order, so the merge is deterministic).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let e = self.trace.events();
+        let h = self.hierarchy.trace().events();
+        let n = self.nvm.trace().events();
+        star_trace::merge(&[&e, &h, &n])
+    }
+
+    /// The device recorder's latency/depth histograms.
+    pub fn trace_histograms(&self) -> &Histograms {
+        &self.nvm.trace().hists
+    }
+
+    /// Total events overwritten across all three ring buffers.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped() + self.hierarchy.trace().dropped() + self.nvm.trace().dropped()
+    }
+
     /// Boots a fresh engine from a (typically recovered) crash image: NVM
     /// is the image's store and the on-chip SIT root register survives,
     /// while all volatile state (CPU caches, metadata cache, core clock)
@@ -365,6 +426,45 @@ impl SecureMemory {
     /// logging, and raises the crash panic when armed for this point.
     fn persist_point(&mut self, kind: PersistPointKind) {
         self.persist_seq += 1;
+        if self.trace.enabled(TraceCategory::Persist) {
+            let now = self.now();
+            self.trace.set_now(now);
+            let seq = ("seq", self.persist_seq);
+            match kind {
+                PersistPointKind::DataLineCommit { line, version } => {
+                    self.trace.instant2(
+                        TraceCategory::Persist,
+                        "data-line-commit",
+                        ("line", line),
+                        ("version", version),
+                    );
+                }
+                PersistPointKind::NodeWriteback { flat } => {
+                    self.trace.instant2(
+                        TraceCategory::Persist,
+                        "node-writeback",
+                        ("flat", flat),
+                        seq,
+                    );
+                }
+                PersistPointKind::ForcedFlush { flat } => {
+                    self.trace.instant2(
+                        TraceCategory::Persist,
+                        "forced-flush",
+                        ("flat", flat),
+                        seq,
+                    );
+                }
+                PersistPointKind::StrictChainNode { flat } => {
+                    self.trace.instant2(
+                        TraceCategory::Persist,
+                        "strict-chain-node",
+                        ("flat", flat),
+                        seq,
+                    );
+                }
+            }
+        }
         if let Some(log) = self.persist_log.as_mut() {
             log.push(PersistPoint {
                 seq: self.persist_seq,
@@ -394,7 +494,27 @@ impl SecureMemory {
                 self.hierarchy.set_version_clean(line, version);
             }
             MemSideOp::WriteBack { line, version } => self.secure_data_write(line, version),
-            MemSideOp::Barrier => self.barriers += 1,
+            MemSideOp::Barrier => {
+                self.barriers += 1;
+                if self.trace.enabled(TraceCategory::Persist) {
+                    let now = self.now();
+                    self.trace.set_now(now);
+                    self.trace
+                        .instant(TraceCategory::Persist, "barrier", ("count", self.barriers));
+                }
+            }
+        }
+    }
+
+    /// Emits a metadata-cache instant event (one predictable branch when
+    /// tracing is off).
+    #[inline]
+    fn trace_meta(&mut self, name: &'static str, flat: u64) {
+        if self.trace.enabled(TraceCategory::MetaCache) {
+            let now = self.now();
+            self.trace.set_now(now);
+            self.trace
+                .instant(TraceCategory::MetaCache, name, ("flat", flat));
         }
     }
 
@@ -551,12 +671,14 @@ impl SecureMemory {
     fn ensure_cached(&mut self, node: NodeId) {
         let flat = self.geometry.flat_index(node);
         if self.meta_cache.touch(flat) {
+            self.trace_meta("meta-hit", flat);
             return;
         }
         // An evicted-but-not-yet-written victim never really left: its NVM
         // copy is stale, so resurrect the owned value instead of reading.
         if let Some(pos) = self.pending_writebacks.iter().position(|(f, _)| *f == flat) {
             let (_, cn) = self.pending_writebacks.remove(pos);
+            self.trace_meta("meta-resurrect", flat);
             self.insert_meta_dirty(flat, cn, true);
             return;
         }
@@ -572,6 +694,7 @@ impl SecureMemory {
         // them may have fetched (and even dirtied) this very node —
         // inserting our stale NVM read over it would lose its updates.
         if self.meta_cache.touch(flat) {
+            self.trace_meta("meta-hit", flat);
             if pinned.is_some() {
                 self.pins.pop();
             }
@@ -579,12 +702,14 @@ impl SecureMemory {
         }
         if let Some(pos) = self.pending_writebacks.iter().position(|(f, _)| *f == flat) {
             let (_, cn) = self.pending_writebacks.remove(pos);
+            self.trace_meta("meta-resurrect", flat);
             self.insert_meta_dirty(flat, cn, true);
             if pinned.is_some() {
                 self.pins.pop();
             }
             return;
         }
+        self.trace_meta("meta-miss", flat);
         let pc = self.parent_counter(node);
         let read = self.nvm.read(
             self.geometry.line_of(node),
@@ -654,6 +779,7 @@ impl SecureMemory {
         let out = self.meta_cache.insert(flat, cn, dirty);
         if let Some(ev) = out.evicted {
             if ev.dirty {
+                self.trace_meta("meta-evict", ev.addr);
                 self.pending_writebacks.push((ev.addr, ev.value));
             }
         }
@@ -702,6 +828,7 @@ impl SecureMemory {
 
     /// Persists an evicted dirty node (the lazy-SIT write path steps 1–4).
     fn writeback_node(&mut self, flat: u64, mut cn: CachedNode) {
+        self.trace_meta("meta-writeback", flat);
         let node = self.geometry.node_at_flat(flat).expect("metadata address");
         let (pc_new, parent_flat) = self.bump_parent_counter(node);
         let lsb = self.synergized_lsb(pc_new);
@@ -1014,6 +1141,10 @@ impl TraceSink for SecureMemory {
         }
         let mut ops = std::mem::take(&mut self.ops_buf);
         ops.clear();
+        if self.hierarchy.trace().is_on() {
+            let now = self.core.now_ps();
+            self.hierarchy.trace_mut().set_now(now);
+        }
         self.hierarchy.access(event, &mut ops);
         for op in ops.drain(..) {
             self.handle_mem_side(op);

@@ -51,6 +51,6 @@ pub mod triad;
 pub use config::{ConfigError, SchemeKind, SecureMemConfig, SecureMemConfigBuilder};
 pub use engine::SecureMemory;
 pub use persist::{CrashRequested, PersistPoint, PersistPointKind};
-pub use recovery::{recover, Attack, CrashImage, RecoveryError, RecoveryReport};
+pub use recovery::{recover, recover_traced, Attack, CrashImage, RecoveryError, RecoveryReport};
 pub use report::SCHEMA_VERSION;
 pub use stats::RunReport;

@@ -18,8 +18,11 @@
 //! either. [`sit_candidate_ambiguity`] quantifies the resulting
 //! ambiguity; the unit tests exercise both sides of the argument.
 
+use crate::recovery::NS_PER_LINE_ACCESS;
 use crate::star::restore::restore_counter;
 use star_metadata::SitMac;
+use star_nvm::PS_PER_NS;
+use star_trace::{TraceCategory, TraceRecorder};
 
 /// The Osiris stop-loss parameter: a counter block is force-persisted
 /// after this many un-persisted increments (the original paper uses 4).
@@ -38,8 +41,61 @@ pub fn recover_data_counter(
     stale_counter: u64,
     stop_loss: u64,
 ) -> Option<u64> {
-    (stale_counter..=stale_counter + stop_loss)
-        .find(|&candidate| mac.verify_data(line_addr, payload, candidate, stored))
+    recover_data_counter_traced(
+        mac,
+        line_addr,
+        payload,
+        stored,
+        stale_counter,
+        stop_loss,
+        &mut TraceRecorder::off(),
+    )
+    .0
+}
+
+/// [`recover_data_counter`] with phase tracing: records the candidate
+/// search as one [`TraceCategory::Recovery`] span (each candidate check
+/// re-MACs the line, modeled at the same 100 ns as a line access) plus
+/// an `osiris-recovered` / `osiris-failed` instant, and returns the
+/// modeled search time in nanoseconds alongside the result.
+pub fn recover_data_counter_traced(
+    mac: &SitMac,
+    line_addr: u64,
+    payload: &[u8; 56],
+    stored: star_metadata::MacField,
+    stale_counter: u64,
+    stop_loss: u64,
+    trace: &mut TraceRecorder,
+) -> (Option<u64>, u64) {
+    let mut tried = 0u64;
+    let found = (stale_counter..=stale_counter + stop_loss).find(|&candidate| {
+        tried += 1;
+        mac.verify_data(line_addr, payload, candidate, stored)
+    });
+    let time_ns = tried * NS_PER_LINE_ACCESS;
+    let t0 = trace.now_ps();
+    trace.span(
+        TraceCategory::Recovery,
+        "osiris-candidate-search",
+        t0,
+        time_ns * PS_PER_NS,
+        ("line", line_addr),
+        ("candidates", tried),
+    );
+    trace.set_now(t0 + time_ns * PS_PER_NS);
+    match found {
+        Some(counter) => trace.instant(
+            TraceCategory::Recovery,
+            "osiris-recovered",
+            ("counter", counter),
+        ),
+        None => trace.instant(
+            TraceCategory::Recovery,
+            "osiris-failed",
+            ("line", line_addr),
+        ),
+    }
+    (found, time_ns)
 }
 
 /// The number of *indistinguishable* candidate counter vectors when one

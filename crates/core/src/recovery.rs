@@ -27,7 +27,8 @@ use crate::star::bitmap::BitmapLayout;
 use crate::star::cache_tree::{self, CacheTreeRoot};
 use crate::star::restore::restore_counter;
 use star_metadata::{DataLine, MacField, Node64, NodeChild, SitGeometry, SitMac};
-use star_nvm::{Line, LineAddr, LineStore};
+use star_nvm::{Line, LineAddr, LineStore, PS_PER_NS};
+use star_trace::{TraceCategory, TraceRecorder};
 use std::collections::HashMap;
 
 /// Paper's recovery cost model: fetching or updating one 64-byte line
@@ -277,16 +278,53 @@ impl std::error::Error for RecoveryError {}
 /// [`RecoveryError::AttackDetected`] when STAR's cache-tree verification
 /// fails.
 pub fn recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError> {
+    recover_traced(image, &mut TraceRecorder::off())
+}
+
+/// [`recover`], recording each recovery phase as a
+/// [`TraceCategory::Recovery`] span into `trace`.
+///
+/// The phase timeline starts at the recorder's current clock
+/// ([`TraceRecorder::now_ps`]) — set it to the crash timestamp to place
+/// recovery after the crashed run on one merged timeline. Phases are
+/// contiguous and their durations (the paper's 100 ns per line access)
+/// sum exactly to the report's `recovery_time_ns`.
+///
+/// # Errors
+///
+/// Same as [`recover`].
+pub fn recover_traced(
+    image: &mut CrashImage,
+    trace: &mut TraceRecorder,
+) -> Result<RecoveryReport, RecoveryError> {
     match image.scheme {
         SchemeKind::WriteBack => Err(RecoveryError::NotRecoverable(SchemeKind::WriteBack)),
-        SchemeKind::Strict => Ok(strict_recover(image)),
-        SchemeKind::Anubis => Ok(anubis_recover(image)),
-        SchemeKind::Star => star_recover(image),
+        SchemeKind::Strict => Ok(strict_recover(image, trace)),
+        SchemeKind::Anubis => Ok(anubis_recover(image, trace)),
+        SchemeKind::Star => star_recover(image, trace),
     }
 }
 
-fn strict_recover(image: &CrashImage) -> RecoveryReport {
+/// Emits one recovery-phase span covering `accesses` line accesses under
+/// the 100 ns/line model and returns its end timestamp (the next
+/// phase's start).
+fn phase_span(trace: &mut TraceRecorder, name: &'static str, start_ps: u64, accesses: u64) -> u64 {
+    let dur_ps = accesses * NS_PER_LINE_ACCESS * PS_PER_NS;
+    trace.span(
+        TraceCategory::Recovery,
+        name,
+        start_ps,
+        dur_ps,
+        ("line_accesses", accesses),
+        ("", 0),
+    );
+    start_ps + dur_ps
+}
+
+fn strict_recover(image: &CrashImage, trace: &mut TraceRecorder) -> RecoveryReport {
     // Write-through persistence leaves nothing stale.
+    let t0 = trace.now_ps();
+    phase_span(trace, "strict-noop", t0, 0);
     RecoveryReport {
         scheme: SchemeKind::Strict,
         stale_count: 0,
@@ -313,16 +351,22 @@ fn child_lsb(store: &LineStore, addr: LineAddr, is_data: bool) -> u16 {
     }
 }
 
-fn star_recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError> {
+fn star_recover(
+    image: &mut CrashImage,
+    trace: &mut TraceRecorder,
+) -> Result<RecoveryReport, RecoveryError> {
     let layout = image
         .bitmap_layout
         .as_ref()
         .expect("STAR always has a bitmap");
     let geometry = image.geometry.clone();
     let mut reads: u64 = 0;
+    let mut t = trace.now_ps();
 
     // 1. Multi-layer index walk: read only the non-zero bitmap lines.
     let stale = layout.collect_stale(&image.bitmap_top, &image.store, &mut reads);
+    t = phase_span(trace, "index-walk", t, reads);
+    let walk_reads = reads;
 
     // 2. Restore counters: MSBs from the stale NVM copy, LSBs from the
     //    eight children's MAC fields.
@@ -354,6 +398,7 @@ fn star_recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError>
         reads += 1; // the parent (read for MAC recomputation below)
         restored.insert(flat, out);
     }
+    t = phase_span(trace, "counter-restore", t, reads - walk_reads);
 
     // 3. Recompute MACs using restored (or NVM-current) parent counters.
     let lsb_mask = (1u64 << image.lsb_bits) - 1;
@@ -385,12 +430,20 @@ fn star_recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError>
         entries.push((flat, field.bits()));
     }
 
-    // 4. Verify the recovery with the cache-tree.
+    // 4. Verify the recovery with the cache-tree (on-chip MAC/hash work:
+    //    no NVM line accesses, so the phase has zero modeled duration).
+    t = phase_span(trace, "cache-tree-verify", t, 0);
     let recomputed = cache_tree::root_from_dirty(&entries, image.num_cache_sets);
     let expected = image
         .cache_tree_root
         .expect("STAR stores a cache-tree root");
     if recomputed != expected {
+        trace.set_now(t);
+        trace.instant(
+            TraceCategory::Recovery,
+            "attack-detected",
+            ("stale_nodes", stale.len() as u64),
+        );
         return Err(RecoveryError::AttackDetected {
             expected,
             recomputed,
@@ -404,6 +457,7 @@ fn star_recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError>
         image.store.write(geometry.line_of(node_id), node.to_line());
         writes += 1;
     }
+    phase_span(trace, "writeback", t, writes);
 
     // Oracle check against the pre-crash cache contents.
     let mut mismatches = 0;
@@ -430,9 +484,11 @@ fn star_recover(image: &mut CrashImage) -> Result<RecoveryReport, RecoveryError>
     })
 }
 
-fn anubis_recover(image: &mut CrashImage) -> RecoveryReport {
+fn anubis_recover(image: &mut CrashImage, trace: &mut TraceRecorder) -> RecoveryReport {
     let geometry = image.geometry.clone();
     let mut reads = image.st_lines as u64; // scan the whole shadow table
+    let mut t = trace.now_ps();
+    t = phase_span(trace, "shadow-scan", t, reads);
 
     // Collect entries; with slot reuse a node can appear in two slots, and
     // counters are monotonic, so element-wise max resolves the ordering.
@@ -463,6 +519,7 @@ fn anubis_recover(image: &mut CrashImage) -> RecoveryReport {
         }
         restored.insert(flat, node);
     }
+    t = phase_span(trace, "counter-restore", t, reads - image.st_lines as u64);
     let flats: Vec<u64> = restored.keys().copied().collect();
     let mut writes = 0;
     for &flat in &flats {
@@ -492,6 +549,7 @@ fn anubis_recover(image: &mut CrashImage) -> RecoveryReport {
         );
         writes += 1;
     }
+    phase_span(trace, "writeback", t, writes);
 
     let mut mismatches = 0;
     for (flat, counters) in &image.ground_truth {

@@ -16,48 +16,23 @@
 //!
 //! Version history: schema 1 was the unversioned faultsim report of the
 //! original fault-injection PR (no `schema_version`/`kind` fields);
-//! schema 2 added both fields and the `RunReport` serialization.
+//! schema 2 added both fields and the `RunReport` serialization;
+//! schema 3 nested the device counters under `"nvm"`, split `energy_pj`
+//! into an `"energy"` read/write breakdown, added the `"wear"` summary,
+//! and introduced the `"trace"` document kind (star-trace timelines).
 
 use crate::config::SchemeKind;
 use crate::stats::RunReport;
-use star_nvm::AccessClass;
+use star_nvm::{AccessClass, NvmStats, WearSummary};
 use std::fmt::Write as _;
 
+// The JSON primitives live in the dependency-free star-trace crate (its
+// exporters need them too); re-exported here so existing callers keep
+// working.
+pub use star_trace::{json_f64, json_str, TracePart};
+
 /// Version of the JSON report schema this build emits.
-pub const SCHEMA_VERSION: u32 = 2;
-
-/// Minimal JSON string encoder (reports only ever hold ASCII labels and
-/// our own detail messages, but escape correctly anyway).
-pub fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Deterministic JSON float encoding: finite values use Rust's shortest
-/// round-trip `Display`, non-finite values (JSON has none) become
-/// `null`.
-pub fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The standard report preamble: `"schema_version":N,"kind":"...",`
 /// (trailing comma included), shared by every report type.
@@ -83,6 +58,53 @@ fn access_counts(count: impl Fn(AccessClass) -> u64) -> String {
     out
 }
 
+/// The device counters as one JSON object — the single serialization of
+/// [`NvmStats`] every report embeds, so `RunReport` and the faultsim
+/// reports cannot drift apart on field names or order.
+pub fn nvm_stats_json(stats: &NvmStats) -> String {
+    format!(
+        "{{\"reads\":{},\"writes\":{},\"write_stall_ps\":{},\"read_queue_ps\":{}}}",
+        access_counts(|c| stats.reads(c)),
+        access_counts(|c| stats.writes(c)),
+        stats.write_stall_ps,
+        stats.read_queue_ps
+    )
+}
+
+/// A wear summary as one JSON object.
+pub fn wear_json(w: &WearSummary) -> String {
+    format!(
+        "{{\"lines_touched\":{},\"total_writes\":{},\"max_writes\":{},\"mean_writes\":{},\
+         \"concentration\":{}}}",
+        w.lines_touched,
+        w.total_writes,
+        w.max_writes,
+        json_f64(w.mean_writes),
+        json_f64(w.concentration)
+    )
+}
+
+/// A merged star-trace timeline as a versioned Chrome trace-event JSON
+/// document (Perfetto and `chrome://tracing` load it directly; the extra
+/// `schema_version`/`kind` keys are ignored by both).
+pub fn trace_to_chrome_json(parts: &[TracePart<'_>]) -> String {
+    format!(
+        "{{{}{}}}",
+        schema_preamble("trace"),
+        star_trace::chrome_body(parts)
+    )
+}
+
+/// A merged star-trace timeline as JSONL: a versioned header object on
+/// the first line, then one self-contained event object per line.
+pub fn trace_to_jsonl(parts: &[TracePart<'_>]) -> String {
+    format!(
+        "{{{}\"format\":\"jsonl\"}}\n{}",
+        schema_preamble("trace"),
+        star_trace::jsonl_body(parts)
+    )
+}
+
 impl RunReport {
     /// The report as one JSON object (schema in the module docs of
     /// [`crate::report`]).
@@ -91,20 +113,24 @@ impl RunReport {
         out.push_str(&schema_preamble("run-report"));
         let _ = write!(
             out,
-            "\"scheme\":{},\"instructions\":{},\"cycles\":{},\"ipc\":{},\"energy_pj\":{},",
+            "\"scheme\":{},\"instructions\":{},\"cycles\":{},\"ipc\":{},",
             json_str(self.scheme.label()),
             self.instructions,
             json_f64(self.cycles),
-            json_f64(self.ipc),
-            self.energy_pj
+            json_f64(self.ipc)
         );
         let _ = write!(
             out,
-            "\"reads\":{},\"writes\":{},\"write_stall_ps\":{},\"read_queue_ps\":{},",
-            access_counts(|c| self.nvm.reads(c)),
-            access_counts(|c| self.nvm.writes(c)),
-            self.nvm.write_stall_ps,
-            self.nvm.read_queue_ps
+            "\"energy\":{{\"read_pj\":{},\"write_pj\":{},\"total_pj\":{}}},",
+            self.energy_read_pj,
+            self.energy_write_pj,
+            self.energy_pj()
+        );
+        let _ = write!(
+            out,
+            "\"nvm\":{},\"wear\":{},",
+            nvm_stats_json(&self.nvm),
+            wear_json(&self.wear)
         );
         let _ = write!(
             out,

@@ -13,6 +13,7 @@
 //! single line kept in an on-chip non-volatile register (never spilled).
 
 use star_nvm::{AccessClass, AdrRegion, Line, LineAddr, LineStore, NvmDevice};
+use star_trace::TraceCategory;
 
 /// Bits in one bitmap line.
 const BITS_PER_LINE: u64 = 512;
@@ -239,20 +240,42 @@ impl MultiLayerBitmap {
         self.stats.accesses += 1;
         if !self.adr.contains(addr) {
             self.stats.adr_misses += 1;
+            nvm.trace_mut().set_now(now_ps);
+            nvm.trace_mut()
+                .instant(TraceCategory::Bitmap, "adr-miss", ("ra_addr", addr.index()));
             // Fetch from the RA. The bit update orders only against a
             // future crash, not the program, so the fetch is off the
             // core's critical path (paper: ADR bookkeeping "doesn't
             // impact the performance"); only queue pressure is charged.
             let read = nvm.read(addr, AccessClass::BitmapLine, now_ps);
             self.stats.ra_reads += 1;
+            nvm.trace_mut().span(
+                TraceCategory::Bitmap,
+                "ra-fetch",
+                now_ps,
+                read.latency_ps,
+                ("ra_addr", addr.index()),
+                ("layer", layer as u64),
+            );
             if let Some((ev_addr, ev_line)) = self.adr.insert(addr, read.data) {
                 // LRU spill to the RA (posted write).
                 let w = nvm.write(ev_addr, ev_line, AccessClass::BitmapLine, now_ps);
                 self.stats.ra_writes += 1;
                 *stall += w.stall_ps;
+                nvm.trace_mut().span(
+                    TraceCategory::Bitmap,
+                    "ra-spill",
+                    now_ps,
+                    w.stall_ps,
+                    ("ra_addr", ev_addr.index()),
+                    ("layer", layer as u64),
+                );
             }
         } else {
             self.stats.adr_hits += 1;
+            nvm.trace_mut().set_now(now_ps);
+            nvm.trace_mut()
+                .instant(TraceCategory::Bitmap, "adr-hit", ("ra_addr", addr.index()));
         }
 
         let line = self.adr.get_mut(addr).expect("resident after ensure");

@@ -3,7 +3,7 @@
 use crate::config::SchemeKind;
 use crate::star::bitmap::BitmapStats;
 use star_mem::hierarchy::HierarchyStats;
-use star_nvm::{AccessClass, NvmStats};
+use star_nvm::{AccessClass, NvmStats, WearSummary};
 
 /// Everything the figures need from one workload run.
 #[derive(Debug, Clone)]
@@ -18,8 +18,13 @@ pub struct RunReport {
     pub cycles: f64,
     /// Instructions per cycle.
     pub ipc: f64,
-    /// Total NVM energy, picojoules.
-    pub energy_pj: u64,
+    /// NVM energy spent on line reads, picojoules.
+    pub energy_read_pj: u64,
+    /// NVM energy spent on line writes, picojoules (the Fig. 13 driver:
+    /// PCM writes cost ~4× reads).
+    pub energy_write_pj: u64,
+    /// Wear (write-endurance) distribution over all NVM lines.
+    pub wear: WearSummary,
     /// Bitmap statistics (STAR only).
     pub bitmap: Option<BitmapStats>,
     /// Dirty metadata lines in the cache at the end of the run.
@@ -39,6 +44,13 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Total NVM energy, picojoules. Always equals the device's own
+    /// accumulator ([`NvmStats::energy_pj`]); the report keeps only the
+    /// read/write split and derives the total.
+    pub fn energy_pj(&self) -> u64 {
+        self.energy_read_pj + self.energy_write_pj
+    }
+
     /// Total NVM write traffic in lines (the paper's Fig. 11 metric).
     pub fn total_writes(&self) -> u64 {
         self.nvm.total_writes()
@@ -87,7 +99,15 @@ mod tests {
             instructions: 100,
             cycles: 50.0,
             ipc: 2.0,
-            energy_pj: 0,
+            energy_read_pj: 6,
+            energy_write_pj: 34,
+            wear: WearSummary {
+                lines_touched: 0,
+                total_writes: 0,
+                max_writes: 0,
+                mean_writes: 0.0,
+                concentration: 0.0,
+            },
             bitmap: None,
             dirty_metadata: 3,
             cached_metadata: 4,
@@ -97,6 +117,7 @@ mod tests {
             mac_computations: 0,
             hierarchy: HierarchyStats::default(),
         };
+        assert_eq!(r.energy_pj(), 40);
         assert_eq!(r.total_writes(), 17);
         assert_eq!(r.normal_writes(), 15);
         assert_eq!(r.extra_writes(), 2);

@@ -20,7 +20,8 @@
 
 use star_metadata::bmt::BonsaiMerkleTree;
 use star_metadata::{MacField, Node64, SitMac, TREE_ARITY};
-use star_nvm::{AccessClass, Line, LineAddr, NvmConfig, NvmDevice};
+use star_nvm::{AccessClass, Line, LineAddr, NvmConfig, NvmDevice, PS_PER_NS};
+use star_trace::{TraceCategory, TraceRecorder};
 
 /// Configuration of the Triad-NVM baseline.
 #[derive(Debug, Clone)]
@@ -190,6 +191,15 @@ impl TriadMemory {
     /// Returns `(nvm_line_reads, recovery_time_ns, verified)` using the
     /// same 100 ns/line model as the main engine.
     pub fn crash_and_recover(&self) -> (u64, u64, bool) {
+        self.crash_and_recover_traced(&mut TraceRecorder::off())
+    }
+
+    /// [`crash_and_recover`](TriadMemory::crash_and_recover) with phase
+    /// tracing: the full counter-block scan and the in-controller tree
+    /// rebuild become [`TraceCategory::Recovery`] spans starting at the
+    /// recorder's current clock; their durations sum exactly to the
+    /// returned recovery time.
+    pub fn crash_and_recover_traced(&self, trace: &mut TraceRecorder) -> (u64, u64, bool) {
         let store = self.nvm.store();
         let mut reads = 0u64;
         let mut leaves: Vec<Line> = Vec::with_capacity(self.counter_blocks.len());
@@ -208,7 +218,27 @@ impl TriadMemory {
             }
         }));
         let verified = rebuilt.root() == self.tree.root();
-        (reads, reads * crate::recovery::NS_PER_LINE_ACCESS, verified)
+        let time_ns = reads * crate::recovery::NS_PER_LINE_ACCESS;
+        let t0 = trace.now_ps();
+        trace.span(
+            TraceCategory::Recovery,
+            "counter-block-scan",
+            t0,
+            time_ns * PS_PER_NS,
+            ("line_accesses", reads),
+            ("", 0),
+        );
+        // The bottom-up rebuild is controller-side hashing: zero modeled
+        // NVM time, recorded for phase ordering.
+        trace.span(
+            TraceCategory::Recovery,
+            "tree-rebuild",
+            t0 + time_ns * PS_PER_NS,
+            0,
+            ("leaves", self.counter_blocks.len() as u64),
+            ("verified", verified as u64),
+        );
+        (reads, time_ns, verified)
     }
 
     /// Tamper a persisted counter block in NVM (attack model hook).

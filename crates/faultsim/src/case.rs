@@ -3,8 +3,9 @@
 use crate::fault::{apply_fault, FaultKind};
 use crate::{catch_quiet, install_panic_filter, SimSetup};
 use star_core::persist::{CrashRequested, PersistPoint, PersistPointKind};
-use star_core::{recover, RecoveryError, SecureMemory};
+use star_core::{recover_traced, RecoveryError, SecureMemory};
 use star_nvm::WriteRecord;
+use star_trace::{merge, CatMask, Histograms, TraceCategory, TraceEvent, TraceRecorder};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
@@ -139,12 +140,50 @@ pub fn committed_versions(schedule: &[PersistPoint], upto: u64) -> BTreeMap<u64,
     map
 }
 
+/// The timeline one traced case left behind: the pre-crash engine
+/// events, the crash and fault annotations ([`TraceCategory::Fault`]),
+/// and the recovery phases, merged onto one clock.
+#[derive(Debug, Clone)]
+pub struct CaseTrace {
+    /// Merged events in stable timestamp order.
+    pub events: Vec<TraceEvent>,
+    /// Device latency / queue-depth histograms of the pre-crash run.
+    pub hists: Histograms,
+    /// Events lost to ring-buffer wrap-around.
+    pub dropped: u64,
+}
+
 /// Replays `setup` with a crash armed at `case.crash_at`, applies the
 /// fault to what survives, runs recovery, and classifies the result via
 /// the readback oracle. Fully deterministic in `(setup, case)`.
 pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
+    run_case_impl(setup, case, None).0
+}
+
+/// [`run_case`] with tracing: the replayed engine records under `mask`,
+/// the injected crash and fault land on the timeline as
+/// [`TraceCategory::Fault`] instants (named `crash-injected`, then the
+/// fault's label, then the outcome's label), and recovery's phases
+/// continue on the same simulated clock.
+pub fn run_case_traced(
+    setup: &SimSetup,
+    case: &FaultCase,
+    mask: CatMask,
+) -> (CaseResult, CaseTrace) {
+    let (result, trace) = run_case_impl(setup, case, Some(mask));
+    (result, trace.expect("tracing was requested"))
+}
+
+fn run_case_impl(
+    setup: &SimSetup,
+    case: &FaultCase,
+    mask: Option<CatMask>,
+) -> (CaseResult, Option<CaseTrace>) {
     install_panic_filter();
     let mut engine = SecureMemory::new(setup.scheme, setup.cfg.clone());
+    if let Some(mask) = mask {
+        engine.enable_trace(mask, 0);
+    }
     engine.enable_persist_log();
     engine.enable_write_journal(JOURNAL_CAPACITY);
     engine.arm_crash_at(case.crash_at);
@@ -153,7 +192,12 @@ pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
     let run = catch_unwind(AssertUnwindSafe(|| workload.run(setup.ops, &mut engine)));
     let crash: CrashRequested = match run {
         Ok(()) => {
-            return CaseResult {
+            let trace = mask.map(|_| CaseTrace {
+                events: engine.trace_events(),
+                hists: engine.trace_histograms().clone(),
+                dropped: engine.trace_dropped(),
+            });
+            let result = CaseResult {
                 crash_at: case.crash_at,
                 kind: None,
                 fault: case.fault,
@@ -168,6 +212,7 @@ pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
                     engine.persist_points()
                 ),
             };
+            return (result, trace);
         }
         Err(payload) => match payload.downcast::<CrashRequested>() {
             Ok(crash) => *crash,
@@ -196,8 +241,35 @@ pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
         }),
     };
 
+    // Detach the pre-crash timeline (the crash consumes the engine) and
+    // seed a second recorder on the same clock for the annotations and
+    // recovery phases.
+    let run_events = mask.map(|_| engine.trace_events());
+    let run_hists = mask.map(|_| engine.trace_histograms().clone());
+    let run_dropped = engine.trace_dropped();
+    let mut rec = TraceRecorder::off();
+    if let Some(mask) = mask {
+        rec.enable(mask, 0);
+        rec.set_now(now_ps);
+    }
+
     let mut image = engine.crash();
     let stale_count = image.stale_node_count();
+    rec.instant2(
+        TraceCategory::Fault,
+        "crash-injected",
+        ("seq", crash.seq),
+        ("stale_nodes", stale_count as u64),
+    );
+
+    let finish = |rec: TraceRecorder, result: CaseResult| {
+        let trace = mask.map(|_| CaseTrace {
+            events: merge(&[run_events.as_deref().unwrap_or_default(), &rec.events()]),
+            hists: run_hists.clone().unwrap_or_default(),
+            dropped: run_dropped + rec.dropped(),
+        });
+        (result, trace)
+    };
 
     if !apply_fault(
         &mut image,
@@ -206,7 +278,7 @@ pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
         &undrained,
         last_committed_line,
     ) {
-        return CaseResult {
+        let result = CaseResult {
             crash_at: crash.seq,
             kind: Some(crash.kind),
             fault: case.fault,
@@ -218,7 +290,9 @@ pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
             readback_checked: 0,
             detail: "fault had no target at this point".into(),
         };
+        return finish(rec, result);
     }
+    rec.instant(TraceCategory::Fault, case.fault.label(), ("seq", crash.seq));
 
     let mut result = CaseResult {
         crash_at: crash.seq,
@@ -233,7 +307,7 @@ pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
         detail: String::new(),
     };
 
-    match recover(&mut image) {
+    match recover_traced(&mut image, &mut rec) {
         Err(RecoveryError::NotRecoverable(_)) => {
             result.outcome = Outcome::Unrecoverable;
             result.detail = "scheme has no recovery path".into();
@@ -252,7 +326,15 @@ pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
             result.detail = detail;
         }
     }
-    result
+    // Stamp the verdict after the modeled recovery window so it closes
+    // out the timeline.
+    rec.set_now(now_ps + result.recovery_time_ns * star_nvm::PS_PER_NS);
+    rec.instant(
+        TraceCategory::Fault,
+        result.outcome.label(),
+        ("checked", result.readback_checked as u64),
+    );
+    finish(rec, result)
 }
 
 /// Boots a fresh engine from the recovered image and reads committed

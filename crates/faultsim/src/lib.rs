@@ -52,7 +52,7 @@ pub mod explore;
 pub mod fault;
 pub mod report;
 
-pub use case::{run_case, CaseResult, FaultCase, Outcome};
+pub use case::{run_case, run_case_traced, CaseResult, CaseTrace, FaultCase, Outcome};
 pub use explore::{explore, persist_schedule, ExplorePlan};
 pub use fault::FaultKind;
 pub use report::ExploreReport;

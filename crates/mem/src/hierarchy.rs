@@ -14,6 +14,7 @@
 
 use crate::cache::SetAssocCache;
 use crate::events::MemEvent;
+use star_trace::{TraceCategory, TraceRecorder};
 
 /// An operation leaving the hierarchy toward the memory controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,6 +103,10 @@ pub struct CacheHierarchy {
     l2: SetAssocCache<u64>,
     l3: SetAssocCache<u64>,
     stats: HierarchyStats,
+    /// Structured event recorder; disabled (one dead branch per access)
+    /// by default. The hierarchy has no clock of its own, so the owner
+    /// stamps it via [`TraceRecorder::set_now`] before each access.
+    trace: TraceRecorder,
 }
 
 impl CacheHierarchy {
@@ -112,6 +117,7 @@ impl CacheHierarchy {
             l2: SetAssocCache::new(cfg.l2.num_sets(), cfg.l2.ways),
             l3: SetAssocCache::new(cfg.l3.num_sets(), cfg.l3.ways),
             stats: HierarchyStats::default(),
+            trace: TraceRecorder::off(),
         }
     }
 
@@ -120,10 +126,60 @@ impl CacheHierarchy {
         self.stats
     }
 
+    /// The event recorder (disabled by default).
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Mutable access to the event recorder, e.g. to enable it or to
+    /// stamp the simulated clock before an access.
+    pub fn trace_mut(&mut self) -> &mut TraceRecorder {
+        &mut self.trace
+    }
+
     /// Processes one trace event, appending memory-side ops to `out`.
     ///
     /// [`MemEvent::Work`] is timing-only and produces nothing here.
     pub fn access(&mut self, event: MemEvent, out: &mut Vec<MemSideOp>) {
+        if !self.trace.is_on() {
+            self.dispatch(event, out);
+            return;
+        }
+        let before = self.stats;
+        let first_new_op = out.len();
+        self.dispatch(event, out);
+        let line = match event {
+            MemEvent::Read { line } | MemEvent::Write { line, .. } | MemEvent::Clwb { line } => {
+                line
+            }
+            MemEvent::Fence | MemEvent::Work { .. } => 0,
+        };
+        let after = self.stats;
+        if after.l1_hits > before.l1_hits {
+            self.trace
+                .instant(TraceCategory::Hierarchy, "l1-hit", ("line", line));
+        }
+        if after.l2_hits > before.l2_hits {
+            self.trace
+                .instant(TraceCategory::Hierarchy, "l2-hit", ("line", line));
+        }
+        if after.l3_hits > before.l3_hits {
+            self.trace
+                .instant(TraceCategory::Hierarchy, "l3-hit", ("line", line));
+        }
+        if after.llc_misses > before.llc_misses {
+            self.trace
+                .instant(TraceCategory::Hierarchy, "llc-miss", ("line", line));
+        }
+        for op in &out[first_new_op..] {
+            if let MemSideOp::WriteBack { line, .. } = *op {
+                self.trace
+                    .instant(TraceCategory::Hierarchy, "writeback", ("line", line));
+            }
+        }
+    }
+
+    fn dispatch(&mut self, event: MemEvent, out: &mut Vec<MemSideOp>) {
         match event {
             MemEvent::Read { line } => self.read(line, out),
             MemEvent::Write { line, version } => self.write(line, version, out),

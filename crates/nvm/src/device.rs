@@ -21,6 +21,7 @@ use crate::stats::{AccessClass, NvmStats};
 use crate::store::{Line, LineAddr, LineStore};
 use crate::timings::PcmTimings;
 use crate::wear::WearTracker;
+use star_trace::{TraceCategory, TraceRecorder};
 use std::collections::VecDeque;
 
 /// Configuration of an [`NvmDevice`].
@@ -92,6 +93,9 @@ pub struct NvmDevice {
     wear: WearTracker,
     /// Optional write journal for fault injection; `None` (free) by default.
     journal: Option<WriteJournal>,
+    /// Structured event recorder; disabled (one dead branch per request)
+    /// by default. Bitmap code records its ADR/RA events here too.
+    trace: TraceRecorder,
 }
 
 impl NvmDevice {
@@ -112,6 +116,7 @@ impl NvmDevice {
             stats: NvmStats::new(),
             wear: WearTracker::new(),
             journal: None,
+            trace: TraceRecorder::off(),
         }
     }
 
@@ -129,6 +134,23 @@ impl NvmDevice {
     /// The configuration this device was built with.
     pub fn config(&self) -> &NvmConfig {
         &self.cfg
+    }
+
+    /// The event recorder (disabled by default).
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Mutable access to the event recorder, e.g. to
+    /// [`enable`](TraceRecorder::enable) it or for the bitmap layer to
+    /// record its ADR events on the device timeline.
+    pub fn trace_mut(&mut self) -> &mut TraceRecorder {
+        &mut self.trace
+    }
+
+    /// Writes currently occupying write-pending-queue slots.
+    pub fn write_queue_depth(&self) -> usize {
+        self.inflight_writes.len()
     }
 
     /// Accumulated statistics.
@@ -205,6 +227,15 @@ impl NvmDevice {
         self.stats.record_read(class);
         self.stats.energy_pj += self.cfg.energy.read_pj;
         self.stats.read_queue_ps += start - now_ps;
+        self.trace.span(
+            TraceCategory::Nvm,
+            "nvm-read",
+            now_ps,
+            complete - now_ps,
+            ("addr", addr.index()),
+            ("class", class as u64),
+        );
+        self.trace.observe_read_latency(complete - now_ps);
         ReadOutcome {
             data: self.store.read(addr),
             complete_at_ps: complete,
@@ -241,7 +272,13 @@ impl NvmDevice {
         self.inflight_writes.insert(pos, end);
 
         if let Some(journal) = self.journal.as_mut() {
+            let dropped_before = journal.dropped();
             journal.record(addr, class, self.store.read(addr), line, end);
+            if journal.dropped() > dropped_before {
+                self.trace.set_now(now_ps);
+                self.trace
+                    .instant(TraceCategory::Nvm, "journal-drop", ("addr", addr.index()));
+            }
         }
         self.store.write(addr, line);
         self.wear.record(addr);
@@ -249,6 +286,23 @@ impl NvmDevice {
         self.stats.energy_pj += self.cfg.energy.write_pj;
         let stall = accepted - now_ps;
         self.stats.write_stall_ps += stall;
+        self.trace.span(
+            TraceCategory::Nvm,
+            "nvm-write",
+            now_ps,
+            stall,
+            ("addr", addr.index()),
+            ("class", class as u64),
+        );
+        self.trace.set_now(accepted);
+        self.trace.counter(
+            TraceCategory::Nvm,
+            "wpq-depth",
+            self.inflight_writes.len() as u64,
+        );
+        self.trace.observe_write_stall(stall);
+        self.trace
+            .observe_wpq_depth(self.inflight_writes.len() as u64);
         WriteOutcome {
             accepted_at_ps: accepted,
             stall_ps: stall,

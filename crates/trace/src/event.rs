@@ -1,0 +1,224 @@
+//! The typed event model and the per-category enable mask.
+
+/// Which subsystem an event belongs to. Each category is one bit of the
+/// recorder's enable mask, so callers can trace (say) only NVM traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u32)]
+pub enum TraceCategory {
+    /// Engine persist points: data-line commits, node write-backs,
+    /// forced flushes, strict chain nodes, barriers.
+    Persist = 0,
+    /// Security-metadata cache: hits, misses, evictions, write-backs.
+    MetaCache = 1,
+    /// NVM device: line reads/writes, WPQ depth, journal drops.
+    Nvm = 2,
+    /// Multi-layer bitmap: ADR hits/misses, RA fetches and LRU spills.
+    Bitmap = 3,
+    /// CPU cache hierarchy: per-level hits, LLC misses, write-backs.
+    Hierarchy = 4,
+    /// Recovery phases (index walk, counter restore, verify, …).
+    Recovery = 5,
+    /// Injected faults (crash points, applied tampering) from faultsim.
+    Fault = 6,
+}
+
+impl TraceCategory {
+    /// Every category, in mask-bit order.
+    pub const ALL: [TraceCategory; 7] = [
+        TraceCategory::Persist,
+        TraceCategory::MetaCache,
+        TraceCategory::Nvm,
+        TraceCategory::Bitmap,
+        TraceCategory::Hierarchy,
+        TraceCategory::Recovery,
+        TraceCategory::Fault,
+    ];
+
+    /// The category's bit in the enable mask.
+    #[inline]
+    pub const fn bit(self) -> u32 {
+        1 << self as u32
+    }
+
+    /// Stable lower-case label (also the `--trace-filter` spelling).
+    pub const fn label(self) -> &'static str {
+        match self {
+            TraceCategory::Persist => "persist",
+            TraceCategory::MetaCache => "cache",
+            TraceCategory::Nvm => "nvm",
+            TraceCategory::Bitmap => "bitmap",
+            TraceCategory::Hierarchy => "hierarchy",
+            TraceCategory::Recovery => "recovery",
+            TraceCategory::Fault => "fault",
+        }
+    }
+}
+
+/// A set of enabled [`TraceCategory`] bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatMask(pub u32);
+
+impl CatMask {
+    /// Nothing enabled (the recorder's off state).
+    pub const NONE: CatMask = CatMask(0);
+    /// Every category enabled.
+    pub const ALL: CatMask = CatMask((1 << TraceCategory::ALL.len()) - 1);
+
+    /// Whether `cat` is enabled.
+    #[inline]
+    pub const fn contains(self, cat: TraceCategory) -> bool {
+        self.0 & cat.bit() != 0
+    }
+
+    /// Parses a `--trace-filter` spec: a comma-separated list of
+    /// category labels, or `all`.
+    ///
+    /// ```
+    /// use star_trace::{CatMask, TraceCategory};
+    /// let m = CatMask::parse("nvm,recovery").unwrap();
+    /// assert!(m.contains(TraceCategory::Nvm));
+    /// assert!(!m.contains(TraceCategory::Persist));
+    /// assert_eq!(CatMask::parse("all").unwrap(), CatMask::ALL);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown label.
+    pub fn parse(spec: &str) -> Result<CatMask, ParseCatError> {
+        let mut mask = 0u32;
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part == "all" {
+                return Ok(CatMask::ALL);
+            }
+            let cat = TraceCategory::ALL
+                .into_iter()
+                .find(|c| c.label() == part)
+                .ok_or_else(|| ParseCatError {
+                    unknown: part.to_string(),
+                })?;
+            mask |= cat.bit();
+        }
+        Ok(CatMask(mask))
+    }
+
+    /// The enabled categories, in mask-bit order.
+    pub fn categories(self) -> impl Iterator<Item = TraceCategory> {
+        TraceCategory::ALL
+            .into_iter()
+            .filter(move |c| self.contains(*c))
+    }
+}
+
+/// An unknown category label in a `--trace-filter` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCatError {
+    /// The unrecognized label.
+    pub unknown: String,
+}
+
+impl core::fmt::Display for ParseCatError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown trace category {:?} (expected one of: all",
+            self.unknown
+        )?;
+        for c in TraceCategory::ALL {
+            write!(f, ", {}", c.label())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParseCatError {}
+
+/// How an event renders on a timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point in time (Chrome phase `i`).
+    Instant,
+    /// A duration starting at `ts_ps` (Chrome phase `X`).
+    Span,
+    /// A sampled counter value, carried in `arg0` (Chrome phase `C`).
+    Counter,
+}
+
+impl EventKind {
+    /// Stable lower-case label for the JSONL export.
+    pub const fn label(self) -> &'static str {
+        match self {
+            EventKind::Instant => "instant",
+            EventKind::Span => "span",
+            EventKind::Counter => "counter",
+        }
+    }
+}
+
+/// One trace event. Flat and `Copy` so the ring buffer is a plain
+/// preallocated `Vec` with no per-event allocation; names and argument
+/// keys are `&'static str` by construction, which is also what keeps
+/// emission cheap and output deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated timestamp in picoseconds.
+    pub ts_ps: u64,
+    /// Span duration in picoseconds (0 for instants and counters).
+    pub dur_ps: u64,
+    /// Timeline rendering kind.
+    pub kind: EventKind,
+    /// Owning category.
+    pub cat: TraceCategory,
+    /// Event name (stable taxonomy, see DESIGN.md §9).
+    pub name: &'static str,
+    /// First argument as a (key, value) pair; key `""` means unused.
+    pub arg0: (&'static str, u64),
+    /// Second argument as a (key, value) pair; key `""` means unused.
+    pub arg1: (&'static str, u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_bits_are_distinct_and_cover_all() {
+        let mut seen = 0u32;
+        for c in TraceCategory::ALL {
+            assert_eq!(seen & c.bit(), 0, "{} reuses a bit", c.label());
+            seen |= c.bit();
+        }
+        assert_eq!(seen, CatMask::ALL.0);
+    }
+
+    #[test]
+    fn parse_roundtrips_labels() {
+        for c in TraceCategory::ALL {
+            let m = CatMask::parse(c.label()).expect("label parses");
+            assert!(m.contains(c));
+            assert_eq!(m.categories().count(), 1);
+        }
+    }
+
+    #[test]
+    fn parse_lists_and_all() {
+        let m = CatMask::parse("persist, nvm ,bitmap").expect("parses");
+        assert!(m.contains(TraceCategory::Persist));
+        assert!(m.contains(TraceCategory::Nvm));
+        assert!(m.contains(TraceCategory::Bitmap));
+        assert!(!m.contains(TraceCategory::Recovery));
+        assert_eq!(CatMask::parse("all").expect("parses"), CatMask::ALL);
+        assert_eq!(CatMask::parse("").expect("parses"), CatMask::NONE);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = CatMask::parse("nvm,bogus").expect_err("must fail");
+        assert_eq!(err.unknown, "bogus");
+        assert!(err.to_string().contains("bogus"));
+        assert!(err.to_string().contains("recovery"));
+    }
+}

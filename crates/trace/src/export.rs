@@ -1,0 +1,292 @@
+//! Merging per-component buffers and serializing timelines.
+//!
+//! Two formats, both hand-rolled and byte-stable:
+//!
+//! * **JSONL** — one self-contained JSON object per event line, for
+//!   `grep`/`jq` pipelines.
+//! * **Chrome trace-event JSON** — the `{"traceEvents":[...]}` object
+//!   format Perfetto and `chrome://tracing` load directly. Events map
+//!   to phases `i` (instant), `X` (complete span) and `C` (counter);
+//!   each [`TracePart`] becomes one process (`pid`) and each category
+//!   one named thread (`tid`), declared with `M` metadata rows.
+//!
+//! The serializers emit only the inner body (no outer braces or schema
+//! fields); `star_core::report` wraps them with the versioned schema
+//! preamble so trace documents carry the same `schema_version`/`kind`
+//! convention as every other report.
+
+use crate::event::{EventKind, TraceCategory, TraceEvent};
+use crate::json::{json_f64, json_str};
+use crate::record::Histograms;
+use std::fmt::Write as _;
+
+/// One process worth of timeline: a label, its merged events, and
+/// optionally the histograms recorded alongside them.
+#[derive(Debug, Clone, Copy)]
+pub struct TracePart<'a> {
+    /// Chrome `pid` (1-based by convention).
+    pub pid: u64,
+    /// Process label shown by Perfetto (e.g. `"array/star"`).
+    pub label: &'a str,
+    /// Events in merged order (see [`merge`]).
+    pub events: &'a [TraceEvent],
+    /// Histograms to export under `"histograms"` (ignored by Perfetto).
+    pub hists: Option<&'a Histograms>,
+}
+
+/// Merges per-component event buffers into one timeline.
+///
+/// Buffers are concatenated in the order given, then stably sorted by
+/// timestamp — ties keep the buffer order, so the merged sequence is a
+/// deterministic function of the inputs alone. Callers fix the buffer
+/// order (engine, hierarchy, device) once and get byte-identical
+/// exports on every run.
+pub fn merge(buffers: &[&[TraceEvent]]) -> Vec<TraceEvent> {
+    let total = buffers.iter().map(|b| b.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for b in buffers {
+        out.extend_from_slice(b);
+    }
+    out.sort_by_key(|e| e.ts_ps);
+    out
+}
+
+fn args_json(ev: &TraceEvent) -> String {
+    let mut out = String::from("{");
+    if !ev.arg0.0.is_empty() {
+        let _ = write!(out, "{}:{}", json_str(ev.arg0.0), ev.arg0.1);
+    }
+    if !ev.arg1.0.is_empty() {
+        if out.len() > 1 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_str(ev.arg1.0), ev.arg1.1);
+    }
+    out.push('}');
+    out
+}
+
+/// Serializes `parts` as JSONL: one event object per line, in part
+/// order. Multi-part exports carry the part label in each line.
+pub fn jsonl_body(parts: &[TracePart<'_>]) -> String {
+    let mut out = String::new();
+    let multi = parts.len() > 1;
+    for part in parts {
+        for ev in part.events {
+            out.push('{');
+            if multi {
+                let _ = write!(
+                    out,
+                    "\"pid\":{},\"part\":{},",
+                    part.pid,
+                    json_str(part.label)
+                );
+            }
+            let _ = write!(
+                out,
+                "\"ts_ps\":{},\"dur_ps\":{},\"kind\":{},\"cat\":{},\"name\":{},\"args\":{}}}",
+                ev.ts_ps,
+                ev.dur_ps,
+                json_str(ev.kind.label()),
+                json_str(ev.cat.label()),
+                json_str(ev.name),
+                args_json(ev)
+            );
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Picoseconds to the microsecond `ts` field Chrome expects.
+fn ts_us(ps: u64) -> String {
+    json_f64(ps as f64 / 1e6)
+}
+
+fn hist_json(h: &crate::hist::Log2Hist) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+        h.count(),
+        h.sum(),
+        h.max(),
+        json_f64(h.mean())
+    );
+    for (i, (floor, n)) in h.nonzero().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{floor},{n}]");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes `parts` as the body of a Chrome trace-event JSON object:
+/// `"displayTimeUnit":…,"traceEvents":[…],"histograms":{…}` without the
+/// outer braces, so the caller can prepend its own schema fields.
+pub fn chrome_body(parts: &[TracePart<'_>]) -> String {
+    let mut out = String::from("\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&s);
+    };
+    for part in parts {
+        emit(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"name\":{}}}}}",
+                part.pid,
+                json_str(part.label)
+            ),
+            &mut out,
+        );
+        for cat in TraceCategory::ALL {
+            if part.events.iter().any(|e| e.cat == cat) {
+                emit(
+                    format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+                         \"args\":{{\"name\":{}}}}}",
+                        part.pid,
+                        cat as u32 + 1,
+                        json_str(cat.label())
+                    ),
+                    &mut out,
+                );
+            }
+        }
+        for ev in part.events {
+            let tid = ev.cat as u32 + 1;
+            let common = format!(
+                "\"name\":{},\"cat\":{},\"pid\":{},\"tid\":{},\"ts\":{}",
+                json_str(ev.name),
+                json_str(ev.cat.label()),
+                part.pid,
+                tid,
+                ts_us(ev.ts_ps)
+            );
+            let line = match ev.kind {
+                EventKind::Instant => {
+                    format!(
+                        "{{{common},\"ph\":\"i\",\"s\":\"t\",\"args\":{}}}",
+                        args_json(ev)
+                    )
+                }
+                EventKind::Span => format!(
+                    "{{{common},\"ph\":\"X\",\"dur\":{},\"args\":{}}}",
+                    ts_us(ev.dur_ps),
+                    args_json(ev)
+                ),
+                EventKind::Counter => format!(
+                    "{{{common},\"ph\":\"C\",\"args\":{{{}:{}}}}}",
+                    json_str(ev.arg0.0),
+                    ev.arg0.1
+                ),
+            };
+            emit(line, &mut out);
+        }
+    }
+    out.push_str("],\"histograms\":{");
+    let mut first_part = true;
+    for part in parts {
+        let Some(hists) = part.hists else { continue };
+        if !first_part {
+            out.push(',');
+        }
+        first_part = false;
+        let _ = write!(out, "{}:{{", json_str(part.label));
+        for (i, (name, h)) in hists.named().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(name), hist_json(h));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CatMask, EventKind};
+    use crate::record::TraceRecorder;
+
+    fn ev(ts: u64, name: &'static str, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            ts_ps: ts,
+            dur_ps: if kind == EventKind::Span { 10 } else { 0 },
+            kind,
+            cat: TraceCategory::Nvm,
+            name,
+            arg0: ("addr", 5),
+            arg1: ("", 0),
+        }
+    }
+
+    #[test]
+    fn merge_is_stable_on_ties() {
+        let a = [
+            ev(5, "a0", EventKind::Instant),
+            ev(9, "a1", EventKind::Instant),
+        ];
+        let b = [ev(5, "b0", EventKind::Instant)];
+        let merged = merge(&[&a, &b]);
+        let names: Vec<_> = merged.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a0", "b0", "a1"], "ties keep buffer order");
+    }
+
+    #[test]
+    fn jsonl_lines_are_self_contained() {
+        let events = [ev(1_000_000, "nvm-read", EventKind::Span)];
+        let part = TracePart {
+            pid: 1,
+            label: "run",
+            events: &events,
+            hists: None,
+        };
+        let text = jsonl_body(&[part]);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("{\"ts_ps\":1000000,\"dur_ps\":10,\"kind\":\"span\""));
+        assert!(text.contains("\"args\":{\"addr\":5}"));
+    }
+
+    #[test]
+    fn chrome_body_declares_metadata_and_phases() {
+        let events = [
+            ev(0, "nvm-read", EventKind::Span),
+            ev(2_000_000, "journal-drop", EventKind::Instant),
+            TraceEvent {
+                arg0: ("wpq-depth", 7),
+                ..ev(3_000_000, "wpq-depth", EventKind::Counter)
+            },
+        ];
+        let mut r = TraceRecorder::off();
+        r.enable(CatMask::ALL, 8);
+        r.observe_wpq_depth(7);
+        let part = TracePart {
+            pid: 1,
+            label: "array/star",
+            events: &events,
+            hists: Some(&r.hists),
+        };
+        let body = chrome_body(&[part]);
+        assert!(body.starts_with("\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(body.contains("\"process_name\""));
+        assert!(body.contains("\"thread_name\""));
+        assert!(body.contains("\"ph\":\"X\""));
+        assert!(body.contains("\"ph\":\"i\""));
+        assert!(body.contains("\"ph\":\"C\""));
+        assert!(body.contains("\"ts\":2"), "ps converted to us");
+        assert!(body.contains("\"histograms\":{\"array/star\":{\"read_latency_ps\""));
+        let wrapped = format!("{{{body}}}");
+        assert_eq!(wrapped.matches('{').count(), wrapped.matches('}').count());
+        assert_eq!(wrapped.matches('[').count(), wrapped.matches(']').count());
+    }
+}

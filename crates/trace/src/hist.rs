@@ -1,0 +1,135 @@
+//! Power-of-two bucket histograms.
+
+/// A log2-bucket histogram over `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket *b* ≥ 1 holds values in
+/// `[2^(b-1), 2^b)`. 64 buckets cover the full `u64` range with the top
+/// bucket absorbing the tail, so observation is branch-light
+/// (`leading_zeros` + an add) and the memory footprint is fixed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `v`.
+    #[inline]
+    pub const fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            let b = 64 - v.leading_zeros() as usize;
+            if b > 63 {
+                63
+            } else {
+                b
+            }
+        }
+    }
+
+    /// The inclusive lower bound of bucket `b`.
+    pub const fn bucket_floor(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(bucket_floor, count)` pairs in
+    /// ascending bucket order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (Self::bucket_floor(b), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 1);
+        assert_eq!(Log2Hist::bucket_of(2), 2);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(4), 3);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), 63);
+        assert_eq!(Log2Hist::bucket_floor(0), 0);
+        assert_eq!(Log2Hist::bucket_floor(1), 1);
+        assert_eq!(Log2Hist::bucket_floor(3), 4);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let mut h = Log2Hist::new();
+        assert_eq!(h.mean(), 0.0);
+        for v in [0, 1, 3, 4, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 108);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.6).abs() < 1e-9);
+        let nz: Vec<_> = h.nonzero().collect();
+        assert_eq!(nz, vec![(0, 1), (1, 1), (2, 1), (4, 1), (64, 1)]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Dependency-free deterministic JSON encoders.
+//!
+//! These are the single implementation behind every JSON report and
+//! trace export in the workspace; `star_core::report` re-exports them
+//! so report code keeps one import path. Output is byte-stable: strings
+//! escape a fixed set, floats use Rust's shortest round-trip `Display`.
+
+use std::fmt::Write as _;
+
+/// Minimal JSON string encoder (reports only ever hold ASCII labels and
+/// our own detail messages, but escape correctly anyway).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Deterministic JSON float encoding: finite values use Rust's shortest
+/// round-trip `Display`, non-finite values (JSON has none) become
+/// `null`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\r\t\u{1}"), "\"\\r\\t\\u0001\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.0), "0");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -52,7 +52,7 @@ fn main() {
             report.total_writes() as f64 / wb_writes as f64,
             report.extra_writes(),
             report.ipc,
-            report.energy_pj as f64 / 1e6,
+            report.energy_pj() as f64 / 1e6,
             rec_str,
             verified,
         );

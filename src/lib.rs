@@ -16,6 +16,10 @@
 //!   (write-back, strict, Anubis, STAR), crash snapshots and recovery.
 //! * [`workloads`] — the five persistent micro-benchmarks and two WHISPER
 //!   style macro-benchmarks used by the paper's evaluation.
+//! * [`trace`] — deterministic structured tracing and metrics: typed
+//!   simulated-time events, preallocated ring-buffer recorders that cost
+//!   one branch when off, and JSONL / Chrome trace-event exporters
+//!   (DESIGN.md §9).
 //!
 //! # Quickstart
 //!
@@ -36,4 +40,5 @@ pub use star_crypto as crypto;
 pub use star_mem as mem;
 pub use star_metadata as metadata;
 pub use star_nvm as nvm;
+pub use star_trace as trace;
 pub use star_workloads as workloads;
