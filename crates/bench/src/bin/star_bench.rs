@@ -1,0 +1,120 @@
+//! `star-bench` — the benchmark-regression harness CLI.
+//!
+//! ```text
+//! star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE]
+//!                     [--check FILE]
+//! ```
+//!
+//! Runs the canonical reduced scheme grid ((array, ycsb) × (wb, strict,
+//! anubis, star) plus the synthetic Triad cell) and writes the frozen
+//! metrics to `--out` (default `BENCH_PR.json`). With `--check FILE` it
+//! also diffs the fresh run against a committed baseline (normally
+//! `bench/baseline.json`) and exits non-zero when any cell regressed
+//! beyond its threshold: +5 % write traffic or energy, −5 % IPC, +10 %
+//! recovery time.
+//!
+//! Output is byte-identical for any `--jobs` value, so CI can compare
+//! artifacts across runners. To refresh the baseline after an intended
+//! change: `star-bench baseline --out bench/baseline.json` and commit
+//! the diff with the PR that moved the numbers.
+
+use star_bench::baseline::{check, run_baseline, BaselineConfig, BaselineReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE] [--check FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("baseline") => baseline_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn baseline_cmd(args: &[String]) {
+    let mut cfg = BaselineConfig::default();
+    let mut out_path = String::from("BENCH_PR.json");
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => cfg.ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--jobs" => cfg.jobs = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = value(args, &mut i),
+            "--check" => check_path = Some(value(args, &mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "baseline: {} ops, seed {}, {} job(s)...",
+        cfg.ops, cfg.seed, cfg.jobs
+    );
+    let report = run_baseline(&cfg);
+
+    println!(
+        "{:<10} {:<7} {:>12} {:>7} {:>14} {:>12}",
+        "workload", "scheme", "writes", "ipc", "energy_pj", "recovery_ns"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<10} {:<7} {:>12} {:>7.3} {:>14} {:>12}",
+            row.workload, row.scheme, row.total_writes, row.ipc, row.energy_pj, row.recovery_ns
+        );
+    }
+
+    if let Err(err) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("baseline: {} rows -> {out_path}", report.rows.len());
+
+    let Some(check_path) = check_path else {
+        return;
+    };
+    let text = std::fs::read_to_string(&check_path).unwrap_or_else(|err| {
+        eprintln!("cannot read baseline {check_path}: {err}");
+        std::process::exit(1);
+    });
+    let committed = BaselineReport::from_json(&text).unwrap_or_else(|err| {
+        eprintln!("cannot parse baseline {check_path}: {err}");
+        std::process::exit(1);
+    });
+    match check(&report, &committed) {
+        Err(err) => {
+            eprintln!("check: {err}");
+            std::process::exit(1);
+        }
+        Ok(verdict) => {
+            for line in &verdict.improvements {
+                println!("check: improved: {line}");
+            }
+            for line in &verdict.regressions {
+                println!("check: REGRESSION: {line}");
+            }
+            if verdict.passed() {
+                println!(
+                    "check: PASS ({} cells vs {check_path})",
+                    committed.rows.len()
+                );
+            } else {
+                println!(
+                    "check: FAIL ({} regression(s) vs {check_path})",
+                    verdict.regressions.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

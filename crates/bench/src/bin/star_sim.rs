@@ -4,11 +4,18 @@
 //! star-sim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N]
 //!          [--threads T] [--cache-kb K] [--adr-lines L] [--lsb-bits B]
 //!          [--seed S] [--crash] [--attack tamper|replay|bitmap]
-//!          [--trace PATH] [--trace-filter CATS]
+//!          [--trace PATH] [--trace-filter CATS] [--prof-csv PATH]
 //! ```
 //!
-//! Prints the run report; with `--crash`, also crashes and recovers
-//! (optionally under an attack, which must be detected).
+//! Prints the run report — including the always-on write-provenance
+//! breakdown (who wrote every NVM line, by `WriteCause`) — and with
+//! `--crash`, also crashes and recovers (optionally under an attack,
+//! which must be detected). Recovery's untimed restore writes are merged
+//! into the provenance totals as `recovery-restore`.
+//!
+//! `--prof-csv PATH` writes the full profile (cause/energy matrices,
+//! per-bank heat, line-wear histogram, windowed write-rate series,
+//! stall/WPQ-depth histograms) as CSV for plotting.
 //!
 //! `--trace PATH` writes the run's star-trace timeline to `PATH` —
 //! Chrome trace-event JSON (load in Perfetto) by default, JSONL when
@@ -36,6 +43,7 @@ struct Options {
     attack: Option<String>,
     trace: Option<String>,
     trace_filter: CatMask,
+    prof_csv: Option<String>,
 }
 
 impl Default for Options {
@@ -53,6 +61,7 @@ impl Default for Options {
             attack: None,
             trace: None,
             trace_filter: CatMask::ALL,
+            prof_csv: None,
         }
     }
 }
@@ -61,7 +70,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: star-sim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N] \
          [--threads T] [--cache-kb K] [--adr-lines L] [--lsb-bits B] [--seed S] \
-         [--crash] [--attack tamper|replay|bitmap] [--trace PATH] [--trace-filter CATS]"
+         [--crash] [--attack tamper|replay|bitmap] [--trace PATH] [--trace-filter CATS] \
+         [--prof-csv PATH]"
     );
     std::process::exit(2);
 }
@@ -107,6 +117,7 @@ fn parse_args() -> Options {
                 opts.crash = true;
             }
             "--trace" => opts.trace = Some(value(&args, &mut i)),
+            "--prof-csv" => opts.prof_csv = Some(value(&args, &mut i)),
             "--trace-filter" => {
                 opts.trace_filter = CatMask::parse(&value(&args, &mut i)).unwrap_or_else(|err| {
                     eprintln!("{err}");
@@ -191,6 +202,13 @@ fn main() {
         );
     }
     println!("forced flushes:    {}", report.forced_flushes);
+    println!("write provenance:");
+    let mut prof = report.prof.clone();
+    for (label, count) in report.prof.by_cause() {
+        if count > 0 {
+            println!("  {label:<17}{count}");
+        }
+    }
 
     // Detach the timeline before a potential crash (which consumes the
     // engine); recovery events are recorded separately and appended.
@@ -204,6 +222,7 @@ fn main() {
         if let Some(path) = &opts.trace {
             write_trace(path, &label, &run_events, &run_hists, run_dropped);
         }
+        write_prof_csv(opts.prof_csv.as_deref(), &prof);
         return;
     }
 
@@ -263,6 +282,14 @@ fn main() {
                 report.verified,
                 report.correct
             );
+            // Recovery restores bypass the timed device; fold them into
+            // the provenance totals so the profile covers the whole run.
+            prof.add_cause(star_nvm::WriteCause::RecoveryRestore, report.nvm_writes);
+            println!(
+                "write provenance incl. recovery: {} total, {} recovery-restore",
+                prof.total_writes(),
+                prof.count(star_nvm::WriteCause::RecoveryRestore)
+            );
             if opts.attack.is_some() {
                 eprintln!("ERROR: attack was not detected!");
                 std::process::exit(1);
@@ -287,6 +314,19 @@ fn main() {
             run_dropped + recovery_rec.dropped(),
         );
     }
+    write_prof_csv(opts.prof_csv.as_deref(), &prof);
+}
+
+/// Writes the write-provenance profile as CSV when `--prof-csv` was
+/// given. With `--crash`, the totals include the `recovery-restore`
+/// traffic merged after recovery.
+fn write_prof_csv(path: Option<&str>, prof: &star_nvm::ProfSummary) {
+    let Some(path) = path else { return };
+    if let Err(err) = std::fs::write(path, prof.to_csv()) {
+        eprintln!("cannot write profile {path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("prof: {} writes -> {path}", prof.total_writes());
 }
 
 /// Serializes `events` to `path` — JSONL when the path ends in

@@ -162,6 +162,42 @@ pub fn sweep_to_json(cfg: &ExperimentConfig, sweep: &[SchemeSweepRow]) -> String
     out
 }
 
+/// One (workload, scheme) cell of the Fig. 11/12-style provenance
+/// breakdown: every nonzero [`star_prof::WriteCause`] with its write
+/// count, plus the device total they sum to.
+#[derive(Debug)]
+pub struct BreakdownRow {
+    /// The workload.
+    pub workload: WorkloadKind,
+    /// The scheme.
+    pub scheme: SchemeKind,
+    /// `(cause label, writes)` pairs in stable cause order, nonzero only.
+    pub causes: Vec<(&'static str, u64)>,
+    /// Total device writes (always the sum of `causes`).
+    pub total: u64,
+}
+
+/// Derives the write-provenance breakdown from a sweep: where every NVM
+/// write of every cell came from, by [`star_prof::WriteCause`]. This is
+/// the paper's write-traffic figure re-cut by *origin* instead of
+/// address class — e.g. Anubis's extra traffic shows up as
+/// `shadow-table`, STAR's as `bitmap-line`/`ra-spill`.
+pub fn write_breakdown(sweep: &[SchemeSweepRow]) -> Vec<BreakdownRow> {
+    sweep
+        .iter()
+        .flat_map(|row| {
+            row.reports
+                .iter()
+                .map(move |(scheme, report)| BreakdownRow {
+                    workload: row.workload,
+                    scheme: *scheme,
+                    causes: report.prof.by_cause().filter(|&(_, n)| n > 0).collect(),
+                    total: report.prof.total_writes(),
+                })
+        })
+        .collect()
+}
+
 /// Fig. 10: WB write count vs STAR bitmap-line write count.
 #[derive(Debug)]
 pub struct Fig10Row {
@@ -465,6 +501,51 @@ mod tests {
                 .into_iter()
                 .map(|scheme| (scheme, run_scheme(scheme, workload, cfg)))
                 .collect(),
+        }
+    }
+
+    #[test]
+    fn breakdown_covers_every_cell_and_balances() {
+        let cfg = ExperimentConfig {
+            ops: 150,
+            ..Default::default()
+        };
+        let sweep = scheme_sweep(&cfg);
+        let rows = write_breakdown(&sweep);
+        assert_eq!(rows.len(), 7 * 4);
+        for row in &rows {
+            let sum: u64 = row.causes.iter().map(|&(_, n)| n).sum();
+            assert_eq!(sum, row.total, "{}/{}", row.workload, row.scheme);
+            assert_eq!(
+                row.total,
+                sweep
+                    .iter()
+                    .find(|r| r.workload == row.workload)
+                    .unwrap()
+                    .report(row.scheme)
+                    .total_writes(),
+                "cause totals match the device counter"
+            );
+        }
+        // The schemes' signature causes show up where they should.
+        let cell = |scheme| {
+            rows.iter()
+                .find(|r| r.workload == WorkloadKind::Ycsb && r.scheme == scheme)
+                .unwrap()
+        };
+        assert!(cell(SchemeKind::Anubis)
+            .causes
+            .iter()
+            .any(|&(l, _)| l == "shadow-table"));
+        for row in [cell(SchemeKind::Star), cell(SchemeKind::WriteBack)] {
+            let allowed: &[&str] = if row.scheme == SchemeKind::Star {
+                &["data", "counter-block", "ra-spill"]
+            } else {
+                &["data", "counter-block"]
+            };
+            for &(label, _) in &row.causes {
+                assert!(allowed.contains(&label), "{}: {label}", row.scheme);
+            }
         }
     }
 

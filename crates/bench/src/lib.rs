@@ -9,9 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 pub mod microbench;
 pub mod paper;
 
+pub use baseline::{check, run_baseline, BaselineConfig, BaselineReport, CheckReport};
 pub use harness::{run_scheme, run_scheme_traced, CrashOutcome, ExperimentConfig, RunTrace};

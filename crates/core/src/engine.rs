@@ -35,7 +35,7 @@ use star_crypto::ctr::one_time_pad;
 use star_crypto::mac::MacKey;
 use star_mem::{CacheHierarchy, MemEvent, MemSideOp, SetAssocCache, SimpleCore, TraceSink};
 use star_metadata::{DataLine, MacField, Node64, NodeId, SitGeometry, SitMac};
-use star_nvm::{AccessClass, LineAddr, NvmDevice, NvmStats, WriteJournal};
+use star_nvm::{AccessClass, LineAddr, NvmDevice, NvmStats, WriteCause, WriteJournal};
 use star_trace::{CatMask, Histograms, TraceCategory, TraceEvent, TraceRecorder};
 use std::collections::HashMap;
 
@@ -243,6 +243,7 @@ impl SecureMemory {
             energy_read_pj: energy.read_pj * stats.total_reads(),
             energy_write_pj: energy.write_pj * stats.total_writes(),
             wear: self.nvm.wear().summary(),
+            prof: self.nvm.prof_summary(),
             bitmap: self.bitmap_stats(),
             dirty_metadata: self.meta_cache.dirty_count(),
             cached_metadata: self.meta_cache.len(),
@@ -578,7 +579,7 @@ impl SecureMemory {
         let w = self.nvm.write(
             LineAddr::new(line),
             dl.to_line(),
-            AccessClass::Data,
+            WriteCause::Data,
             self.now(),
         );
         self.core.stall_write_ps(w.stall_ps);
@@ -843,7 +844,7 @@ impl SecureMemory {
         let w = self.nvm.write(
             self.geometry.line_of(node),
             cn.node.to_line(),
-            AccessClass::Metadata,
+            WriteCause::CounterBlock,
             self.now(),
         );
         self.core.stall_write_ps(w.stall_ps);
@@ -953,7 +954,7 @@ impl SecureMemory {
         let w = self.nvm.write(
             self.geometry.line_of(node),
             line,
-            AccessClass::Metadata,
+            WriteCause::CounterBlock,
             self.now(),
         );
         self.core.stall_write_ps(w.stall_ps);
@@ -982,7 +983,7 @@ impl SecureMemory {
         let addr = LineAddr::new(self.st_base + slot as u64);
         let w = self
             .nvm
-            .write(addr, entry.to_line(), AccessClass::ShadowTable, self.now());
+            .write(addr, entry.to_line(), WriteCause::ShadowTable, self.now());
         self.core.stall_write_ps(w.stall_ps);
     }
 
@@ -1012,7 +1013,7 @@ impl SecureMemory {
             let w = self.nvm.write(
                 self.geometry.line_of(n),
                 line,
-                AccessClass::Metadata,
+                WriteCause::CounterBlock,
                 self.now(),
             );
             self.core.stall_write_ps(w.stall_ps);

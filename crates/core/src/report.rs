@@ -19,7 +19,12 @@
 //! schema 2 added both fields and the `RunReport` serialization;
 //! schema 3 nested the device counters under `"nvm"`, split `energy_pj`
 //! into an `"energy"` read/write breakdown, added the `"wear"` summary,
-//! and introduced the `"trace"` document kind (star-trace timelines).
+//! and introduced the `"trace"` document kind (star-trace timelines);
+//! schema 4 added the `"prof"` write-provenance object (per-cause and
+//! per-bank write/energy matrices, line-wear and stall/WPQ-depth
+//! histograms, windowed write-rate series — see [`star_prof`]) to
+//! `run-report`, and the `"bench-baseline"` document kind emitted by
+//! `star-bench baseline`.
 
 use crate::config::SchemeKind;
 use crate::stats::RunReport;
@@ -32,7 +37,7 @@ use std::fmt::Write as _;
 pub use star_trace::{json_f64, json_str, TracePart};
 
 /// Version of the JSON report schema this build emits.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The standard report preamble: `"schema_version":N,"kind":"...",`
 /// (trailing comma included), shared by every report type.
@@ -128,9 +133,10 @@ impl RunReport {
         );
         let _ = write!(
             out,
-            "\"nvm\":{},\"wear\":{},",
+            "\"nvm\":{},\"wear\":{},\"prof\":{},",
             nvm_stats_json(&self.nvm),
-            wear_json(&self.wear)
+            wear_json(&self.wear),
+            self.prof.to_json()
         );
         let _ = write!(
             out,
@@ -212,8 +218,30 @@ mod tests {
         assert!(j.contains("\"kind\":\"run-report\""));
         assert!(j.contains("\"scheme\":\"star\""));
         assert!(j.contains("\"writes\":{\"data\":"));
+        assert!(j.contains("\"prof\":{\"write_pj\":"));
+        assert!(j.contains("\"writes_by_cause\":{\"data\":"));
+        assert!(j.contains("\"write_stall_hist\":["));
+        assert!(j.contains("\"wpq_depth_hist\":["));
         assert!(j.contains("\"bitmap\":{\"accesses\":"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn prof_cause_totals_match_device_writes_for_every_scheme() {
+        for scheme in SchemeKind::ALL {
+            let mut m = SecureMemory::new(scheme, SecureMemConfig::small());
+            for i in 0..120 {
+                m.write_data(i % 13, i);
+                m.persist_data(i % 13);
+            }
+            let r = m.report();
+            assert_eq!(
+                r.prof.total_writes(),
+                r.nvm.total_writes(),
+                "{} cause totals must sum to device writes",
+                scheme.label()
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! non-zero, so recovery reads only non-zero lines. The highest layer is a
 //! single line kept in an on-chip non-volatile register (never spilled).
 
-use star_nvm::{AccessClass, AdrRegion, Line, LineAddr, LineStore, NvmDevice};
+use star_nvm::{AccessClass, AdrRegion, Line, LineAddr, LineStore, NvmDevice, WriteCause};
 use star_trace::TraceCategory;
 
 /// Bits in one bitmap line.
@@ -259,7 +259,7 @@ impl MultiLayerBitmap {
             );
             if let Some((ev_addr, ev_line)) = self.adr.insert(addr, read.data) {
                 // LRU spill to the RA (posted write).
-                let w = nvm.write(ev_addr, ev_line, AccessClass::BitmapLine, now_ps);
+                let w = nvm.write(ev_addr, ev_line, WriteCause::RaSpill, now_ps);
                 self.stats.ra_writes += 1;
                 *stall += w.stall_ps;
                 nvm.trace_mut().span(

@@ -3,7 +3,7 @@
 use crate::config::SchemeKind;
 use crate::star::bitmap::BitmapStats;
 use star_mem::hierarchy::HierarchyStats;
-use star_nvm::{AccessClass, NvmStats, WearSummary};
+use star_nvm::{AccessClass, NvmStats, ProfSummary, WearSummary};
 
 /// Everything the figures need from one workload run.
 #[derive(Debug, Clone)]
@@ -25,6 +25,11 @@ pub struct RunReport {
     pub energy_write_pj: u64,
     /// Wear (write-endurance) distribution over all NVM lines.
     pub wear: WearSummary,
+    /// Write-provenance profile: per-cause/per-bank write matrices, wear
+    /// heatmap buckets, windowed write-rate series, and the always-on
+    /// write-stall / WPQ-depth histograms. Its cause totals sum exactly
+    /// to `nvm.total_writes()`.
+    pub prof: ProfSummary,
     /// Bitmap statistics (STAR only).
     pub bitmap: Option<BitmapStats>,
     /// Dirty metadata lines in the cache at the end of the run.
@@ -108,6 +113,7 @@ mod tests {
                 mean_writes: 0.0,
                 concentration: 0.0,
             },
+            prof: ProfSummary::default(),
             bitmap: None,
             dirty_metadata: 3,
             cached_metadata: 4,

@@ -20,7 +20,7 @@
 
 use star_metadata::bmt::BonsaiMerkleTree;
 use star_metadata::{MacField, Node64, SitMac, TREE_ARITY};
-use star_nvm::{AccessClass, Line, LineAddr, NvmConfig, NvmDevice, PS_PER_NS};
+use star_nvm::{Line, LineAddr, NvmConfig, NvmDevice, WriteCause, PS_PER_NS};
 use star_trace::{TraceCategory, TraceRecorder};
 
 /// Configuration of the Triad-NVM baseline.
@@ -109,6 +109,12 @@ impl TriadMemory {
         self.nvm.stats()
     }
 
+    /// Write-provenance summary: data vs counter-block vs per-level BMT
+    /// write-through traffic (the 2–4× amplification, attributed).
+    pub fn prof_summary(&self) -> star_nvm::ProfSummary {
+        self.nvm.prof_summary()
+    }
+
     /// Writes (and persists) `version` into data line `line`.
     ///
     /// # Panics
@@ -128,7 +134,7 @@ impl TriadMemory {
         let w = self.nvm.write(
             LineAddr::new(line),
             dl.to_line(),
-            AccessClass::Data,
+            WriteCause::Data,
             self.now_ps,
         );
         let _ = w;
@@ -138,7 +144,7 @@ impl TriadMemory {
         self.nvm.write(
             LineAddr::new(self.cb_base + cb_idx as u64),
             cb_line,
-            AccessClass::Metadata,
+            WriteCause::CounterBlock,
             self.now_ps,
         );
         // …update the tree…
@@ -154,7 +160,9 @@ impl TriadMemory {
             self.nvm.write(
                 LineAddr::new(level_base + index),
                 Line::from(bytes),
-                AccessClass::Metadata,
+                WriteCause::BmtNode {
+                    level: _level as u8,
+                },
                 self.now_ps,
             );
             level_base += self.level_count(_level);
@@ -309,6 +317,23 @@ mod tests {
             let total = s.total_writes();
             assert_eq!(total, 300 * expect, "persist_levels {levels}");
         }
+    }
+
+    #[test]
+    fn provenance_attributes_the_amplification() {
+        let mut m = TriadMemory::new(TriadConfig {
+            data_lines: 4_096,
+            persist_levels: 3,
+            ..TriadConfig::default()
+        });
+        for i in 0..300u64 {
+            m.write_data(i % 64, i + 1);
+        }
+        let p = m.prof_summary();
+        assert_eq!(p.count(WriteCause::Data), 300);
+        assert_eq!(p.count(WriteCause::CounterBlock), 300);
+        assert_eq!(p.bmt_levels, vec![(2, 300), (3, 300)]);
+        assert_eq!(p.total_writes(), m.nvm_stats().total_writes());
     }
 
     #[test]

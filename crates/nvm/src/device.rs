@@ -21,6 +21,7 @@ use crate::stats::{AccessClass, NvmStats};
 use crate::store::{Line, LineAddr, LineStore};
 use crate::timings::PcmTimings;
 use crate::wear::WearTracker;
+use star_prof::{ProfSummary, WriteCause, WriteProfiler};
 use star_trace::{TraceCategory, TraceRecorder};
 use std::collections::VecDeque;
 
@@ -35,6 +36,9 @@ pub struct NvmConfig {
     pub banks: usize,
     /// Write-queue capacity; the core stalls when it is full.
     pub write_queue_capacity: usize,
+    /// Width of the write-provenance profiler's time-series window in
+    /// simulated microseconds (see [`star_prof::WriteProfiler`]).
+    pub prof_window_us: u64,
 }
 
 impl Default for NvmConfig {
@@ -44,6 +48,7 @@ impl Default for NvmConfig {
             energy: EnergyModel::default(),
             banks: 32,
             write_queue_capacity: 64,
+            prof_window_us: 100,
         }
     }
 }
@@ -91,6 +96,9 @@ pub struct NvmDevice {
     recent_activations: VecDeque<u64>,
     stats: NvmStats,
     wear: WearTracker,
+    /// Always-on write-provenance aggregation (per-cause, per-bank,
+    /// windowed time series; see [`star_prof`]).
+    prof: WriteProfiler,
     /// Optional write journal for fault injection; `None` (free) by default.
     journal: Option<WriteJournal>,
     /// Structured event recorder; disabled (one dead branch per request)
@@ -115,6 +123,7 @@ impl NvmDevice {
             recent_activations: VecDeque::new(),
             stats: NvmStats::new(),
             wear: WearTracker::new(),
+            prof: WriteProfiler::new(cfg.banks, cfg.prof_window_us),
             journal: None,
             trace: TraceRecorder::off(),
         }
@@ -163,9 +172,27 @@ impl NvmDevice {
         &self.wear
     }
 
+    /// The always-on write-provenance profiler.
+    pub fn prof(&self) -> &WriteProfiler {
+        &self.prof
+    }
+
+    /// Freezes the profiler into an exportable summary, filling in the
+    /// per-write energy and the log2 per-line wear histogram that only
+    /// the device knows. The summary's cause totals equal
+    /// [`NvmStats::total_writes`] by construction: both count exactly
+    /// the writes accepted by [`write`](NvmDevice::write).
+    pub fn prof_summary(&self) -> ProfSummary {
+        self.prof
+            .summary(self.cfg.energy.write_pj, self.wear.log2_histogram())
+    }
+
     /// Resets statistics (e.g. after warm-up) without touching contents.
+    /// The provenance profiler resets with them so cause totals keep
+    /// summing to [`NvmStats::total_writes`].
     pub fn reset_stats(&mut self) {
         self.stats = NvmStats::new();
+        self.prof = WriteProfiler::new(self.cfg.banks, self.cfg.prof_window_us);
     }
 
     /// Direct access to the backing store, bypassing timing — used by the
@@ -243,14 +270,19 @@ impl NvmDevice {
         }
     }
 
-    /// Issues a timed (posted) write.
+    /// Issues a timed (posted) write, tagged with its provenance.
+    ///
+    /// The traffic-class statistics bucket is derived from `cause` (see
+    /// [`AccessClass::from_cause`]), so the per-cause provenance matrix
+    /// and the per-class counters can never disagree.
     pub fn write(
         &mut self,
         addr: LineAddr,
         line: Line,
-        class: AccessClass,
+        cause: WriteCause,
         now_ps: u64,
     ) -> WriteOutcome {
+        let class = AccessClass::from_cause(cause);
         self.drain_retired(now_ps);
         // Stall until a queue slot frees up.
         let mut accepted = now_ps;
@@ -283,6 +315,7 @@ impl NvmDevice {
         self.store.write(addr, line);
         self.wear.record(addr);
         self.stats.record_write(class);
+        self.prof.record_write(cause, b, now_ps);
         self.stats.energy_pj += self.cfg.energy.write_pj;
         let stall = accepted - now_ps;
         self.stats.write_stall_ps += stall;
@@ -303,6 +336,9 @@ impl NvmDevice {
         self.trace.observe_write_stall(stall);
         self.trace
             .observe_wpq_depth(self.inflight_writes.len() as u64);
+        self.prof.observe_write_stall(stall);
+        self.prof
+            .observe_wpq_depth(self.inflight_writes.len() as u64);
         WriteOutcome {
             accepted_at_ps: accepted,
             stall_ps: stall,
@@ -321,7 +357,7 @@ mod tests {
     #[test]
     fn read_returns_written_data() {
         let mut d = device();
-        d.write(LineAddr::new(9), Line::filled(0x42), AccessClass::Data, 0);
+        d.write(LineAddr::new(9), Line::filled(0x42), WriteCause::Data, 0);
         let r = d.read(LineAddr::new(9), AccessClass::Data, 1_000_000);
         assert_eq!(r.data, Line::filled(0x42));
     }
@@ -337,7 +373,7 @@ mod tests {
     fn read_after_write_same_bank_pays_turnaround() {
         let mut d = device();
         let banks = d.config().banks as u64;
-        d.write(LineAddr::new(banks), Line::ZERO, AccessClass::Data, 0);
+        d.write(LineAddr::new(banks), Line::ZERO, WriteCause::Data, 0);
         // Same bank (addr % banks equal), read right away.
         let r = d.read(LineAddr::new(2 * banks), AccessClass::Data, 0);
         let t = d.config().timings;
@@ -351,7 +387,7 @@ mod tests {
     #[test]
     fn read_to_other_bank_is_not_delayed_by_write() {
         let mut d = device();
-        d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
+        d.write(LineAddr::new(0), Line::ZERO, WriteCause::Data, 0);
         let r = d.read(LineAddr::new(1), AccessClass::Data, 0);
         // Different bank: only tFAW could interfere, which is tiny.
         assert!(r.latency_ps <= d.config().timings.read_latency_ps() + d.config().timings.t_faw_ps);
@@ -364,11 +400,11 @@ mod tests {
             banks: 1,
             ..NvmConfig::default()
         });
-        let w0 = d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
-        let w1 = d.write(LineAddr::new(1), Line::ZERO, AccessClass::Data, 0);
+        let w0 = d.write(LineAddr::new(0), Line::ZERO, WriteCause::Data, 0);
+        let w1 = d.write(LineAddr::new(1), Line::ZERO, WriteCause::Data, 0);
         assert_eq!(w0.stall_ps, 0);
         assert_eq!(w1.stall_ps, 0);
-        let w2 = d.write(LineAddr::new(2), Line::ZERO, AccessClass::Data, 0);
+        let w2 = d.write(LineAddr::new(2), Line::ZERO, WriteCause::Data, 0);
         assert!(
             w2.stall_ps > 0,
             "third write into a 2-deep queue must stall"
@@ -383,9 +419,9 @@ mod tests {
             banks: 1,
             ..NvmConfig::default()
         });
-        d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
+        d.write(LineAddr::new(0), Line::ZERO, WriteCause::Data, 0);
         // Far in the future the first write has retired: no stall.
-        let w = d.write(LineAddr::new(1), Line::ZERO, AccessClass::Data, 10_000_000);
+        let w = d.write(LineAddr::new(1), Line::ZERO, WriteCause::Data, 10_000_000);
         assert_eq!(w.stall_ps, 0);
     }
 
@@ -394,9 +430,40 @@ mod tests {
         let mut d = device();
         d.read(LineAddr::new(0), AccessClass::Data, 0);
         let after_read = d.stats().energy_pj;
-        d.write(LineAddr::new(0), Line::ZERO, AccessClass::Data, 0);
+        d.write(LineAddr::new(0), Line::ZERO, WriteCause::Data, 0);
         let after_write = d.stats().energy_pj - after_read;
         assert!(after_write > after_read);
+    }
+
+    #[test]
+    fn prof_counts_match_class_stats() {
+        let mut d = device();
+        d.write(LineAddr::new(0), Line::ZERO, WriteCause::Data, 0);
+        d.write(LineAddr::new(1), Line::ZERO, WriteCause::CounterBlock, 0);
+        d.write(LineAddr::new(2), Line::ZERO, WriteCause::ShadowTable, 0);
+        d.write(LineAddr::new(33), Line::ZERO, WriteCause::RaSpill, 0);
+        let s = d.prof_summary();
+        assert_eq!(s.total_writes(), d.stats().total_writes());
+        assert_eq!(
+            s.count(WriteCause::Data),
+            d.stats().writes(AccessClass::Data)
+        );
+        assert_eq!(
+            s.count(WriteCause::ShadowTable),
+            d.stats().writes(AccessClass::ShadowTable)
+        );
+        // Bank heat is addr % banks: 1 and 33 share bank 1 of 32.
+        assert_eq!(s.bank_writes[0], 1);
+        assert_eq!(s.bank_writes[1], 2);
+        // Always-on histograms record even with tracing off.
+        assert!(!d.trace().is_on());
+        assert_eq!(s.wpq_depth_hist.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        assert_eq!(s.write_stall_hist.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        assert_eq!(s.line_wear_hist.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        assert_eq!(s.write_pj, d.config().energy.write_pj);
+        // reset_stats keeps the cause-sum invariant.
+        d.reset_stats();
+        assert_eq!(d.prof_summary().total_writes(), d.stats().total_writes());
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   a four-activation window (tFAW) and write-to-read turnaround (tWTR)
 //!   ([`device::NvmDevice`]);
 //! * **asymmetric read/write energy** accounting ([`energy::EnergyModel`]);
+//! * always-on **write provenance**: every write is tagged with a
+//!   [`WriteCause`] at its origin and aggregated per cause, per bank and
+//!   per time window by the embedded [`star_prof::WriteProfiler`];
 //! * an **ADR region** — the battery-backed staging area in the memory
 //!   controller that survives a crash ([`adr::AdrRegion`]);
 //! * access **statistics by traffic class** ([`stats::NvmStats`]) so the
@@ -20,14 +23,15 @@
 //! Time is in integer **picoseconds** so event ordering is exact.
 //!
 //! ```
-//! use star_nvm::{NvmDevice, NvmConfig, AccessClass, Line, LineAddr};
+//! use star_nvm::{NvmDevice, NvmConfig, AccessClass, Line, LineAddr, WriteCause};
 //!
 //! let mut nvm = NvmDevice::new(NvmConfig::default());
 //! let addr = LineAddr::new(42);
-//! nvm.write(addr, Line::filled(7), AccessClass::Data, 0);
+//! nvm.write(addr, Line::filled(7), WriteCause::Data, 0);
 //! let read = nvm.read(addr, AccessClass::Data, 1_000_000);
 //! assert_eq!(read.data, Line::filled(7));
 //! assert_eq!(nvm.stats().writes(AccessClass::Data), 1);
+//! assert_eq!(nvm.prof_summary().count(WriteCause::Data), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,6 +50,7 @@ pub use adr::AdrRegion;
 pub use device::{NvmConfig, NvmDevice, ReadOutcome, WriteOutcome};
 pub use energy::EnergyModel;
 pub use journal::{WriteJournal, WriteRecord};
+pub use star_prof::{ProfSummary, WriteCause, WriteProfiler};
 pub use stats::{AccessClass, NvmStats};
 pub use store::{Line, LineAddr, LineStore};
 pub use timings::PcmTimings;

@@ -35,6 +35,23 @@ impl AccessClass {
             AccessClass::ShadowTable => 3,
         }
     }
+
+    /// The traffic class a write of the given provenance lands in.
+    ///
+    /// [`crate::NvmDevice::write`] takes a [`star_prof::WriteCause`] and derives its
+    /// class here, so the coarse per-class counters are always a
+    /// consistent coarsening of the fine per-cause matrix.
+    pub fn from_cause(cause: star_prof::WriteCause) -> AccessClass {
+        use star_prof::WriteCause as C;
+        match cause {
+            C::Data => AccessClass::Data,
+            C::CounterBlock | C::BmtNode { .. } | C::Mac | C::Journal | C::RecoveryRestore => {
+                AccessClass::Metadata
+            }
+            C::BitmapLine | C::RaSpill => AccessClass::BitmapLine,
+            C::ShadowTable => AccessClass::ShadowTable,
+        }
+    }
 }
 
 impl core::fmt::Display for AccessClass {
@@ -152,5 +169,24 @@ mod tests {
     fn display_names_are_stable() {
         let names: Vec<String> = AccessClass::ALL.iter().map(|c| c.to_string()).collect();
         assert_eq!(names, ["data", "metadata", "bitmap-line", "shadow-table"]);
+    }
+
+    #[test]
+    fn every_cause_coarsens_to_a_class() {
+        use star_prof::WriteCause as C;
+        let cases = [
+            (C::Data, AccessClass::Data),
+            (C::CounterBlock, AccessClass::Metadata),
+            (C::BmtNode { level: 2 }, AccessClass::Metadata),
+            (C::Mac, AccessClass::Metadata),
+            (C::BitmapLine, AccessClass::BitmapLine),
+            (C::RaSpill, AccessClass::BitmapLine),
+            (C::Journal, AccessClass::Metadata),
+            (C::ShadowTable, AccessClass::ShadowTable),
+            (C::RecoveryRestore, AccessClass::Metadata),
+        ];
+        for (cause, class) in cases {
+            assert_eq!(AccessClass::from_cause(cause), class, "{cause}");
+        }
     }
 }

@@ -82,6 +82,18 @@ impl WearTracker {
         }
     }
 
+    /// The per-line write-count distribution as a log2 histogram, in
+    /// `(bucket_floor, lines_in_bucket)` pairs ascending — the report's
+    /// wear heatmap. Histogram observation is order-independent, so the
+    /// result is deterministic despite the hash-map backing.
+    pub fn log2_histogram(&self) -> Vec<(u64, u64)> {
+        let mut hist = star_trace::Log2Hist::new();
+        for &count in self.writes.values() {
+            hist.observe(count);
+        }
+        hist.nonzero().collect()
+    }
+
     /// Remaining lifetime fraction of the most-worn line, for a cell
     /// endurance of `endurance` writes.
     pub fn worst_line_life_remaining(&self, endurance: u64) -> f64 {
@@ -129,6 +141,18 @@ mod tests {
         let s = WearTracker::new().summary();
         assert_eq!(s.lines_touched, 0);
         assert_eq!(s.concentration, 0.0);
+    }
+
+    #[test]
+    fn log2_histogram_buckets_lines_by_write_count() {
+        let mut w = WearTracker::new();
+        for _ in 0..10 {
+            w.record(LineAddr::new(1)); // bucket floor 8
+        }
+        w.record(LineAddr::new(2)); // bucket floor 1
+        w.record(LineAddr::new(3)); // bucket floor 1
+        assert_eq!(w.log2_histogram(), vec![(1, 2), (8, 1)]);
+        assert!(WearTracker::new().log2_histogram().is_empty());
     }
 
     #[test]

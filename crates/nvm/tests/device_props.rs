@@ -2,7 +2,7 @@
 //! deterministic `star-rng` generator (seeded loops instead of a
 //! property-testing framework so the suite builds offline).
 
-use star_nvm::{AccessClass, Line, LineAddr, NvmConfig, NvmDevice};
+use star_nvm::{AccessClass, Line, LineAddr, NvmConfig, NvmDevice, WriteCause};
 use star_rng::SimRng;
 use std::collections::HashMap;
 
@@ -45,7 +45,7 @@ fn reads_return_last_write() {
                 }
                 Req::Write(a, b) => {
                     let line = Line::filled(*b);
-                    let out = dev.write(LineAddr::new(*a), line, AccessClass::Data, now);
+                    let out = dev.write(LineAddr::new(*a), line, WriteCause::Data, now);
                     assert!(out.accepted_at_ps >= now);
                     shadow.insert(*a, line);
                 }
@@ -71,7 +71,7 @@ fn stats_and_energy_are_exact() {
                     reads += 1;
                 }
                 Req::Write(a, b) => {
-                    dev.write(LineAddr::new(*a), Line::filled(*b), AccessClass::Data, now);
+                    dev.write(LineAddr::new(*a), Line::filled(*b), WriteCause::Data, now);
                     writes += 1;
                 }
                 Req::Advance(dt) => now += dt,
@@ -83,6 +83,14 @@ fn stats_and_energy_are_exact() {
         let e = dev.config().energy;
         assert_eq!(s.energy_pj, e.total_pj(reads, writes));
         assert_eq!(dev.wear().summary().total_writes, writes);
+        let prof = dev.prof_summary();
+        assert_eq!(prof.total_writes(), writes, "cause totals = device writes");
+        assert_eq!(prof.bank_writes.iter().sum::<u64>(), writes);
+        assert_eq!(prof.window_samples.iter().sum::<u64>(), writes);
+        assert_eq!(
+            prof.line_wear_hist.iter().map(|&(_, c)| c).sum::<u64>() as usize,
+            dev.wear().summary().lines_touched
+        );
     }
 }
 
@@ -98,7 +106,7 @@ fn spaced_writes_never_stall() {
         let mut dev = NvmDevice::new(NvmConfig::default());
         let mut now = 0u64;
         for a in addrs {
-            let out = dev.write(LineAddr::new(a), Line::ZERO, AccessClass::Data, now);
+            let out = dev.write(LineAddr::new(a), Line::ZERO, WriteCause::Data, now);
             assert_eq!(out.stall_ps, 0);
             now += 10_000_000; // 10 µs apart: the queue always drains
         }
@@ -112,14 +120,14 @@ fn wear_concentrates_on_hot_lines() {
         dev.write(
             LineAddr::new(0),
             Line::ZERO,
-            AccessClass::Data,
+            WriteCause::Data,
             i * 1_000_000,
         );
         if i % 10 == 0 {
             dev.write(
                 LineAddr::new(1),
                 Line::ZERO,
-                AccessClass::Data,
+                WriteCause::Data,
                 i * 1_000_000,
             );
         }

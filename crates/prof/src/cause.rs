@@ -1,0 +1,124 @@
+//! The write-provenance taxonomy.
+
+/// Why an NVM line write happened — stamped at the *origin* of every
+/// device write and threaded through [`crate::WriteProfiler`].
+///
+/// Each variant models one paper mechanism (see DESIGN.md §9 for the
+/// full mapping table). Causes that no current scheme emits (`Mac`,
+/// `Journal`, `BitmapLine`) are still part of the taxonomy so reports
+/// keep a stable shape as schemes grow; `RecoveryRestore` is special:
+/// recovery writes bypass the timed device (100 ns/line model) and are
+/// merged into summaries downstream via
+/// [`ProfSummary::add_cause`](crate::ProfSummary::add_cause).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteCause {
+    /// A user data line (all schemes; the paper's "memory write").
+    Data,
+    /// A counter/SIT node block: lazy write-backs, forced flushes, and
+    /// Strict/Triad write-through persists.
+    CounterBlock,
+    /// A Bonsai-Merkle-tree hash node persisted write-through at `level`
+    /// (Triad-NVM; level 2 is the first hash level above the counters).
+    BmtNode {
+        /// Tree level, counting counter blocks as level 1.
+        level: u8,
+    },
+    /// A standalone MAC line (schemes that persist MACs separately).
+    Mac,
+    /// A bitmap line persisted straight to its NVM home (as opposed to
+    /// spilled from the ADR staging area).
+    BitmapLine,
+    /// A bitmap line spilled from ADR to the Recovery Area by LRU
+    /// pressure (STAR's multi-layer bitmap).
+    RaSpill,
+    /// A write-ahead journal entry (Osiris/Triad-style logging).
+    Journal,
+    /// An Anubis shadow-table line (one per memory write).
+    ShadowTable,
+    /// A line restored by crash recovery (untimed path; merged into
+    /// summaries after recovery runs).
+    RecoveryRestore,
+}
+
+/// Number of distinct causes (BMT levels collapse into one slot here;
+/// the per-level split lives in [`crate::ProfSummary::bmt_levels`]).
+pub const NUM_CAUSES: usize = 9;
+
+/// Stable lower-case labels in [`WriteCause::index`] order — also the
+/// JSON object keys and CSV row keys.
+pub const CAUSE_LABELS: [&str; NUM_CAUSES] = [
+    "data",
+    "counter-block",
+    "bmt-node",
+    "mac",
+    "bitmap-line",
+    "ra-spill",
+    "journal",
+    "shadow-table",
+    "recovery-restore",
+];
+
+impl WriteCause {
+    /// The cause's slot in fixed-size counter arrays (BMT nodes share
+    /// one slot regardless of level).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            WriteCause::Data => 0,
+            WriteCause::CounterBlock => 1,
+            WriteCause::BmtNode { .. } => 2,
+            WriteCause::Mac => 3,
+            WriteCause::BitmapLine => 4,
+            WriteCause::RaSpill => 5,
+            WriteCause::Journal => 6,
+            WriteCause::ShadowTable => 7,
+            WriteCause::RecoveryRestore => 8,
+        }
+    }
+
+    /// Stable lower-case label (JSON key / CSV key / table column).
+    pub const fn label(self) -> &'static str {
+        CAUSE_LABELS[self.index()]
+    }
+}
+
+impl core::fmt::Display for WriteCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EVERY: [WriteCause; NUM_CAUSES] = [
+        WriteCause::Data,
+        WriteCause::CounterBlock,
+        WriteCause::BmtNode { level: 2 },
+        WriteCause::Mac,
+        WriteCause::BitmapLine,
+        WriteCause::RaSpill,
+        WriteCause::Journal,
+        WriteCause::ShadowTable,
+        WriteCause::RecoveryRestore,
+    ];
+
+    #[test]
+    fn indices_are_dense_and_labels_stable() {
+        for (want, cause) in EVERY.into_iter().enumerate() {
+            assert_eq!(cause.index(), want);
+            assert_eq!(cause.label(), CAUSE_LABELS[want]);
+            assert_eq!(cause.to_string(), CAUSE_LABELS[want]);
+        }
+    }
+
+    #[test]
+    fn bmt_levels_share_a_slot() {
+        assert_eq!(
+            WriteCause::BmtNode { level: 2 }.index(),
+            WriteCause::BmtNode { level: 9 }.index()
+        );
+        assert_eq!(WriteCause::BmtNode { level: 3 }.label(), "bmt-node");
+    }
+}

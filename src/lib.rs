@@ -20,6 +20,10 @@
 //!   simulated-time events, preallocated ring-buffer recorders that cost
 //!   one branch when off, and JSONL / Chrome trace-event exporters
 //!   (DESIGN.md §9).
+//! * [`prof`] — always-on write-provenance accounting: every NVM write is
+//!   tagged with a [`prof::WriteCause`] at its origin, aggregated into
+//!   per-cause/per-bank matrices, wear and write-rate histograms, and the
+//!   report's `"prof"` object (DESIGN.md §9).
 //!
 //! # Quickstart
 //!
@@ -40,5 +44,6 @@ pub use star_crypto as crypto;
 pub use star_mem as mem;
 pub use star_metadata as metadata;
 pub use star_nvm as nvm;
+pub use star_prof as prof;
 pub use star_trace as trace;
 pub use star_workloads as workloads;

@@ -1,0 +1,130 @@
+//! Golden-file coverage for report schema v4.
+//!
+//! The committed `tests/golden/run_report_v4.json` pins the exact bytes
+//! of a canonical [`RunReport`](star::core::RunReport) — field order,
+//! escaping, float formatting, the `"prof"` provenance object — so any
+//! schema drift shows up as a reviewable diff instead of silently
+//! breaking downstream consumers. Refresh after an *intended* schema
+//! change (bumping `SCHEMA_VERSION` where appropriate) with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test --test report_schema
+//! ```
+
+use star::core::{SchemeKind, SecureMemConfig, SecureMemory, SCHEMA_VERSION};
+use star::prof::JsonValue;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/run_report_v4.json"
+);
+
+/// The canonical deterministic run the golden file freezes.
+fn canonical_report_json() -> String {
+    let mut m = SecureMemory::new(SchemeKind::Star, SecureMemConfig::small());
+    for i in 0..200 {
+        m.write_data(i % 11, i);
+        m.persist_data(i % 11);
+    }
+    m.report().to_json()
+}
+
+/// Sums every numeric value of the JSON object at `path`.
+fn object_sum(doc: &JsonValue, path: &[&str]) -> u64 {
+    let mut node = doc;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| panic!("missing {key:?}"));
+    }
+    let JsonValue::Obj(pairs) = node else {
+        panic!("{path:?} is not an object");
+    };
+    pairs
+        .iter()
+        .map(|(k, v)| v.as_u64().unwrap_or_else(|| panic!("{k:?} not integral")))
+        .sum()
+}
+
+#[test]
+fn run_report_matches_committed_golden_bytes() {
+    let got = canonical_report_json();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect(
+        "golden file missing — regenerate with REGEN_GOLDEN=1 cargo test --test report_schema",
+    );
+    assert_eq!(
+        got, want,
+        "RunReport JSON drifted from tests/golden/run_report_v4.json; if the change is \
+         intended, review the schema-version history in star_core::report and regenerate \
+         with REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_report_roundtrips_and_balances() {
+    let text = canonical_report_json();
+    let doc = JsonValue::parse(&text).expect("report parses");
+    assert_eq!(
+        doc.get("schema_version").and_then(JsonValue::as_u64),
+        Some(u64::from(SCHEMA_VERSION))
+    );
+    assert_eq!(
+        doc.get("kind").and_then(JsonValue::as_str),
+        Some("run-report")
+    );
+    // The provenance matrix is an exact decomposition of the device's
+    // write counter, and the energy matrix of the write energy.
+    let device_writes = object_sum(&doc, &["nvm", "writes"]);
+    assert!(device_writes > 0);
+    assert_eq!(
+        object_sum(&doc, &["prof", "writes_by_cause"]),
+        device_writes
+    );
+    let write_pj = doc
+        .get("prof")
+        .and_then(|p| p.get("write_pj"))
+        .and_then(JsonValue::as_u64)
+        .expect("prof.write_pj");
+    assert_eq!(
+        object_sum(&doc, &["prof", "energy_by_cause"]),
+        device_writes * write_pj
+    );
+}
+
+/// The schema-v4 invariant of ISSUE 4: for every scheme with a device,
+/// the per-cause provenance totals in the emitted report sum exactly to
+/// the device's total write count. The four engine schemes and Triad all
+/// have a timed device; Osiris exists only as pure recovery functions
+/// (`star::core::osiris`) and never emits a report.
+#[test]
+fn prof_totals_balance_for_every_scheme_in_json() {
+    for scheme in SchemeKind::ALL {
+        let mut m = SecureMemory::new(scheme, SecureMemConfig::small());
+        for i in 0..150 {
+            m.write_data(i % 13, i);
+            m.persist_data(i % 13);
+        }
+        let doc = JsonValue::parse(&m.report().to_json()).expect("report parses");
+        assert_eq!(
+            object_sum(&doc, &["prof", "writes_by_cause"]),
+            object_sum(&doc, &["nvm", "writes"]),
+            "{} provenance must decompose the device counter",
+            scheme.label()
+        );
+    }
+    // Triad has no RunReport; its profile and device stats balance too.
+    let mut triad = star::core::triad::TriadMemory::new(star::core::triad::TriadConfig {
+        data_lines: 1 << 12,
+        persist_levels: 2,
+        ..Default::default()
+    });
+    for i in 0..150u64 {
+        triad.write_data(i % 64, i + 1);
+    }
+    assert_eq!(
+        triad.prof_summary().total_writes(),
+        triad.nvm_stats().total_writes()
+    );
+}
