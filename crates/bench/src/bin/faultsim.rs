@@ -232,6 +232,50 @@ fn main() {
 
     if !report.clean() {
         eprintln!("FAIL: silent corruption found");
+        print_minimal_silent_program(&plan.setup, opts.workload, opts.ops, opts.seed);
         std::process::exit(1);
     }
+}
+
+/// On silent corruption, re-records the workload's event stream as a
+/// `star-check` program, shrinks it to a minimal sequence that still
+/// produces a silent-corruption crash point, and prints it with a
+/// replayable JSON repro — so the failure travels as a few ops instead
+/// of a case index into a particular workload binary.
+fn print_minimal_silent_program(setup: &SimSetup, workload: WorkloadKind, ops: usize, seed: u64) {
+    use star_check::{find_silent_crash, shrink_ops, CrashPlan, ProgramRecorder};
+
+    let scheme = setup.scheme;
+    let mut recorder = ProgramRecorder::new();
+    workload.instantiate(seed).run(ops, &mut recorder);
+    let program = recorder.into_program(&setup.cfg, CrashPlan::None);
+
+    const CRASH_SCAN_CAP: usize = 64;
+    let Some((seq, detail)) = find_silent_crash(&program, scheme, CRASH_SCAN_CAP) else {
+        eprintln!(
+            "shrink: could not reproduce silent corruption from the recorded \
+             event stream (first {CRASH_SCAN_CAP} crash points scanned)"
+        );
+        return;
+    };
+    eprintln!("shrink: reproduced at persist point {seq}: {detail}");
+
+    let minimal = shrink_ops(&program, |p| {
+        find_silent_crash(p, scheme, CRASH_SCAN_CAP).is_some()
+    });
+    let (seq, _) = find_silent_crash(&minimal, scheme, CRASH_SCAN_CAP)
+        .expect("shrink preserves the failing predicate");
+    let mut repro = minimal.clone();
+    repro.crash = CrashPlan::At(seq);
+
+    println!(
+        "minimal silent-corruption program ({} of {} recorded ops, crash at persist point {seq}):",
+        minimal.ops.len(),
+        program.ops.len()
+    );
+    for op in &minimal.ops {
+        println!("  {op}");
+    }
+    println!("repro: {}", repro.to_json());
+    println!("replay with: star-bench check --repro FILE");
 }

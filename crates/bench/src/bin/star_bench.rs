@@ -3,26 +3,40 @@
 //! ```text
 //! star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE]
 //!                     [--check FILE]
+//! star-bench check    [--cases N] [--seed S] [--threads T] [--ops-max N]
+//!                     [--json FILE] [--repro FILE]
 //! ```
 //!
-//! Runs the canonical reduced scheme grid ((array, ycsb) × (wb, strict,
-//! anubis, star) plus the synthetic Triad cell) and writes the frozen
-//! metrics to `--out` (default `BENCH_PR.json`). With `--check FILE` it
-//! also diffs the fresh run against a committed baseline (normally
-//! `bench/baseline.json`) and exits non-zero when any cell regressed
-//! beyond its threshold: +5 % write traffic or energy, −5 % IPC, +10 %
-//! recovery time.
+//! `baseline` runs the canonical reduced scheme grid ((array, ycsb) ×
+//! (wb, strict, anubis, star) plus the synthetic Triad cell) and writes
+//! the frozen metrics to `--out` (default `BENCH_PR.json`). With
+//! `--check FILE` it also diffs the fresh run against a committed
+//! baseline (normally `bench/baseline.json`) and exits non-zero when
+//! any cell regressed beyond its threshold: +5 % write traffic or
+//! energy, −5 % IPC, +10 % recovery time.
 //!
-//! Output is byte-identical for any `--jobs` value, so CI can compare
-//! artifacts across runners. To refresh the baseline after an intended
-//! change: `star-bench baseline --out bench/baseline.json` and commit
-//! the diff with the PR that moved the numbers.
+//! `check` is the property-based differential checker (`star-check`):
+//! `--cases N` seeded random programs run through every scheme engine
+//! and Triad and are compared against the executable reference model.
+//! Failures are shrunk to a minimal program and printed with a
+//! replayable JSON repro; `--repro FILE` re-checks one such repro
+//! (`-` reads it from stdin). Exit status 1 on any violation.
+//!
+//! Output of both subcommands is byte-identical for any `--jobs` /
+//! `--threads` value, so CI can compare artifacts across runners. To
+//! refresh the baseline after an intended change: `star-bench baseline
+//! --out bench/baseline.json` and commit the diff with the PR that
+//! moved the numbers.
 
 use star_bench::baseline::{check, run_baseline, BaselineConfig, BaselineReport};
+use star_check::{run_check, CheckConfig, Program};
+use std::io::Read as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE] [--check FILE]"
+        "usage: star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE] [--check FILE]\n\
+         \x20      star-bench check [--cases N] [--seed S] [--threads T] [--ops-max N] \
+         [--json FILE] [--repro FILE]"
     );
     std::process::exit(2);
 }
@@ -31,7 +45,87 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("baseline") => baseline_cmd(&args[1..]),
+        Some("check") => check_cmd(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn check_cmd(args: &[String]) {
+    let mut cfg = CheckConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut repro_path: Option<String> = None;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => cfg.cases = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => cfg.threads = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--ops-max" => {
+                cfg.gen.max_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage());
+                cfg.gen.min_ops = cfg.gen.min_ops.min(cfg.gen.max_ops.saturating_sub(1));
+            }
+            "--json" => json_path = Some(value(args, &mut i)),
+            "--repro" => repro_path = Some(value(args, &mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = repro_path {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("cannot read repro from stdin: {e}");
+                std::process::exit(1);
+            }
+            buf
+        } else {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read repro {path}: {e}");
+                std::process::exit(1);
+            })
+        };
+        let program = Program::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse repro: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("replaying repro: {}", program.summary());
+        let violations = star_check::check_program(&program);
+        if violations.is_empty() {
+            println!("repro: PASS (no violation reproduced)");
+            return;
+        }
+        for v in &violations {
+            println!("repro: {v}");
+        }
+        println!("repro: FAIL ({} violation(s))", violations.len());
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "check: {} cases, seed {}, {} thread(s)...",
+        cfg.cases, cfg.seed, cfg.threads
+    );
+    let report = run_check(&cfg);
+    print!("{}", report.summary_table());
+    if let Some(path) = json_path {
+        let json = report.to_json();
+        if path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        } else {
+            eprintln!("wrote JSON report to {path}");
+        }
+    }
+    if !report.clean() {
+        std::process::exit(1);
     }
 }
 

@@ -292,6 +292,18 @@ impl MultiLayerBitmap {
         }
     }
 
+    /// The bitmap lines currently resident in ADR, as `(RA home address,
+    /// line)` pairs in LRU-to-MRU order.
+    ///
+    /// The resident copies are the authoritative ones: an RA home may
+    /// still hold an older spilled copy, which [`crash_flush`]
+    /// (Self::crash_flush) overwrites. Exposed so tests and recovery
+    /// audits can verify that resident and spilled lines partition the
+    /// tracked stale set.
+    pub fn adr_resident(&self) -> impl Iterator<Item = (LineAddr, &Line)> {
+        self.adr.iter()
+    }
+
     /// The battery-backed flush at crash time: every ADR-resident bitmap
     /// line goes to its RA home. The on-chip top survives by itself.
     pub fn crash_flush(&self, store: &mut LineStore) {
@@ -422,6 +434,80 @@ mod tests {
         // L1 line 0 → L2 line 0; bit 1_000_000 → L1 line 1953 → L2 line 3.
         // So: 2 L2 reads + 2 L1 reads = 4, far below the 2052-line RA.
         assert_eq!(reads, 4);
+    }
+
+    /// Partition property under random touch sequences: at any moment,
+    /// the stale bits held by ADR-resident layer-0 lines and the stale
+    /// bits in the RA copies of the *non-resident* layer-0 lines are
+    /// disjoint and together equal a reference `HashSet` model — no bit
+    /// is lost to a spill or double-tracked after a refetch.
+    #[test]
+    fn lru_spill_refetch_partitions_stale_set() {
+        use star_rng::SimRng;
+        use std::collections::HashSet;
+
+        // 8192 meta lines → 16 L1 lines + on-chip top; ADR of 3 lines
+        // forces constant LRU spill/refetch traffic.
+        const TOTAL_META: u64 = 8192;
+        let (mut b, mut nvm) = setup(TOTAL_META, 3);
+        assert!(b.layout().layers() >= 2, "need a spillable layer");
+
+        let mut rng = SimRng::seed_from_u64(0x6269_746d_6170_2d70);
+        let mut reference: HashSet<u64> = HashSet::new();
+        for step in 0..4000u64 {
+            let idx = rng.gen_range(0..TOTAL_META);
+            if rng.gen_bool(0.7) {
+                b.set(idx, &mut nvm, step);
+                reference.insert(idx);
+            } else {
+                b.clear(idx, &mut nvm, step);
+                reference.remove(&idx);
+            }
+            if step % 97 != 0 {
+                continue;
+            }
+
+            // Split layer 0 into the ADR-resident view and the RA view
+            // of everything not resident.
+            let layout = b.layout().clone();
+            let resident: HashSet<LineAddr> = b.adr_resident().map(|(addr, _)| addr).collect();
+            let mut from_adr: HashSet<u64> = HashSet::new();
+            for (addr, line) in b.adr_resident() {
+                let line_no = addr.index() - layout.ra_addr(0, 0).index();
+                if line_no >= layout.layer_counts[0] {
+                    continue; // a resident upper-layer line
+                }
+                from_adr.extend(set_bits(line).map(|bit| line_no * BITS_PER_LINE + bit));
+            }
+            let mut from_ra: HashSet<u64> = HashSet::new();
+            for line_no in 0..layout.layer_counts[0] {
+                let addr = layout.ra_addr(0, line_no);
+                if resident.contains(&addr) {
+                    continue;
+                }
+                let line = nvm.store().read(addr);
+                from_ra.extend(set_bits(&line).map(|bit| line_no * BITS_PER_LINE + bit));
+            }
+
+            assert!(
+                from_adr.is_disjoint(&from_ra),
+                "step {step}: a stale bit is tracked both in ADR and RA"
+            );
+            let union: HashSet<u64> = from_adr.union(&from_ra).copied().collect();
+            assert_eq!(union, reference, "step {step}: stale set diverged");
+
+            // Stats invariants ride along: every access either hit or
+            // missed, and every miss fetched exactly one RA line.
+            let s = b.stats();
+            assert_eq!(s.adr_hits + s.adr_misses, s.accesses);
+            assert_eq!(s.ra_reads, s.adr_misses);
+        }
+        assert!(b.stats().ra_writes > 0, "ADR of 3 over 16 lines must spill");
+
+        // And the crash-time view still collects exactly the reference.
+        let mut expect: Vec<u64> = reference.into_iter().collect();
+        expect.sort_unstable();
+        check_roundtrip(&mut b, &mut nvm, &expect);
     }
 
     #[test]

@@ -119,6 +119,63 @@ mod tests {
         assert_ne!(a, b);
     }
 
+    /// A fully-populated multi-way cache digests to the same root no
+    /// matter how the (set, way) entries are discovered: shuffled
+    /// insertion orders and repeated rebuilds all agree.
+    #[test]
+    fn set_way_digest_is_stable_across_rebuilds() {
+        use star_rng::SimRng;
+
+        const SETS: usize = 16;
+        const WAYS: usize = 4;
+        // Way w of set s holds flat index s + w*SETS (the cache's set
+        // mapping is idx % SETS, so each set gets exactly WAYS entries).
+        let mut entries: Vec<(u64, u64)> = (0..SETS * WAYS)
+            .map(|i| {
+                let (s, w) = (i % SETS, i / SETS);
+                ((s + w * SETS) as u64, (0x1000 + i * 7) as u64)
+            })
+            .collect();
+
+        let reference = root_from_dirty(&entries, SETS);
+        let mut rng = SimRng::seed_from_u64(0x6361_6368_6574_7265);
+        for _ in 0..8 {
+            // Fisher-Yates shuffle; root must not care about order.
+            for i in (1..entries.len()).rev() {
+                entries.swap(i, rng.gen_index(i + 1));
+            }
+            assert_eq!(root_from_dirty(&entries, SETS), reference);
+        }
+        assert_eq!(root_from_dirty(&entries, SETS), reference);
+    }
+
+    /// Flipping a single bit of a single way's MAC — any way, any set —
+    /// is detected: the recomputed root differs from the reference.
+    #[test]
+    fn single_flipped_way_changes_root() {
+        const SETS: usize = 8;
+        const WAYS: usize = 4;
+        let entries: Vec<(u64, u64)> = (0..SETS * WAYS)
+            .map(|i| {
+                let (s, w) = (i % SETS, i / SETS);
+                ((s + w * SETS) as u64, (0xbeef + i * 13) as u64)
+            })
+            .collect();
+        let reference = root_from_dirty(&entries, SETS);
+
+        for victim in 0..entries.len() {
+            for bit in [0u32, 9, 31, 63] {
+                let mut tampered = entries.clone();
+                tampered[victim].1 ^= 1u64 << bit;
+                assert_ne!(
+                    root_from_dirty(&tampered, SETS),
+                    reference,
+                    "flip of bit {bit} in way entry {victim} went undetected"
+                );
+            }
+        }
+    }
+
     #[test]
     fn paper_geometry_is_4_levels() {
         // 1024 sets, 8-ary: 1024 → 128 → 16 → 2 → 1 (4 hashing levels).

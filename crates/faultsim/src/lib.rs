@@ -148,8 +148,9 @@ pub fn install_panic_filter() {
 
 /// `catch_unwind` with panic printing suppressed for the duration (used
 /// for readback probes, where an integrity panic is an *expected*
-/// classification signal, not a bug to report on stderr).
-pub(crate) fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
+/// classification signal, not a bug to report on stderr). Public so the
+/// differential checker (`star-check`) can probe readbacks the same way.
+pub fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
     install_panic_filter();
     QUIET_PANICS.with(|q| q.set(q.get() + 1));
     let result = panic::catch_unwind(AssertUnwindSafe(f));
