@@ -5,6 +5,8 @@
 //!                     [--check FILE]
 //! star-bench check    [--cases N] [--seed S] [--threads T] [--ops-max N]
 //!                     [--json FILE] [--repro FILE]
+//! star-bench serve    [--horizon-s N] [--rate R] [--seed S] [--threads T]
+//!                     [--data-mb M] [--json FILE]
 //! ```
 //!
 //! `baseline` runs the canonical reduced scheme grid ((array, ycsb) ×
@@ -22,7 +24,13 @@
 //! replayable JSON repro; `--repro FILE` re-checks one such repro
 //! (`-` reads it from stdin). Exit status 1 on any violation.
 //!
-//! Output of both subcommands is byte-identical for any `--jobs` /
+//! `serve` runs the star-serve availability grid: every backend scheme
+//! (the four engine schemes plus Triad) through the standard steady /
+//! diurnal / burst scenarios, each with two mid-stream power failures,
+//! and prints per-cell p50/p99/p999 latency, goodput, and
+//! unavailability. `--json FILE` writes the schema-v5 `serve` document.
+//!
+//! Output of all subcommands is byte-identical for any `--jobs` /
 //! `--threads` value, so CI can compare artifacts across runners. To
 //! refresh the baseline after an intended change: `star-bench baseline
 //! --out bench/baseline.json` and commit the diff with the PR that
@@ -30,13 +38,17 @@
 
 use star_bench::baseline::{check, run_baseline, BaselineConfig, BaselineReport};
 use star_check::{run_check, CheckConfig, Program};
+use star_core::SecureMemConfig;
+use star_serve::{run_grid, standard_scenarios_at, ServeConfig};
 use std::io::Read as _;
 
 fn usage() -> ! {
     eprintln!(
         "usage: star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE] [--check FILE]\n\
          \x20      star-bench check [--cases N] [--seed S] [--threads T] [--ops-max N] \
-         [--json FILE] [--repro FILE]"
+         [--json FILE] [--repro FILE]\n\
+         \x20      star-bench serve [--horizon-s N] [--rate R] [--seed S] [--threads T] \
+         [--data-mb M] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -46,7 +58,65 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("baseline") => baseline_cmd(&args[1..]),
         Some("check") => check_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn serve_cmd(args: &[String]) {
+    let mut horizon_s: u64 = 3600;
+    let mut rate: f64 = 2.0;
+    let mut seed: u64 = 42;
+    let mut threads: usize = 1;
+    let mut data_mb: u64 = 256;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--horizon-s" => horizon_s = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--rate" => rate = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--data-mb" => data_mb = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--json" => json_path = Some(value(args, &mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let cfg = ServeConfig {
+        horizon_ns: horizon_s * 1_000_000_000,
+        seed,
+        mem: SecureMemConfig::builder()
+            .data_lines((data_mb << 20) / 64)
+            .build()
+            .unwrap_or_else(|e| {
+                eprintln!("bad geometry: {e}");
+                std::process::exit(2);
+            }),
+        threads,
+    };
+    let scenarios = standard_scenarios_at(&cfg, rate);
+    eprintln!(
+        "serve: {horizon_s} s horizon, {rate} req/s base, {data_mb} MB data, seed {seed}, \
+         {threads} thread(s)..."
+    );
+    let grid = run_grid(&cfg, &scenarios);
+    print!("{}", grid.to_table());
+    if let Some(path) = json_path {
+        let json = grid.to_json();
+        if path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        } else {
+            eprintln!("wrote JSON report to {path}");
+        }
     }
 }
 

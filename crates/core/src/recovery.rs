@@ -237,6 +237,82 @@ impl RecoveryReport {
     }
 }
 
+/// One user-visible outage: the fixed platform reboot plus the scheme's
+/// metadata recovery (or, for non-recoverable schemes, the modeled full
+/// rebuild). The service simulator (star-serve) records one span per
+/// injected power failure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DowntimeSpan {
+    /// Service-clock time the power failed, in ns.
+    pub at_ns: u64,
+    /// Fixed platform reboot cost (firmware + controller bring-up).
+    pub reboot_ns: u64,
+    /// Scheme recovery (or rebuild) time on the same clock.
+    pub recovery_ns: u64,
+    /// Stale metadata nodes the recovery restored.
+    pub stale_nodes: u64,
+    /// NVM line reads recovery performed.
+    pub nvm_reads: u64,
+    /// NVM line writes recovery performed.
+    pub nvm_writes: u64,
+}
+
+impl DowntimeSpan {
+    /// A span recorded from a successful [`RecoveryReport`].
+    pub fn from_recovery(at_ns: u64, reboot_ns: u64, rep: &RecoveryReport) -> Self {
+        Self {
+            at_ns,
+            reboot_ns,
+            recovery_ns: rep.recovery_time_ns,
+            stale_nodes: rep.stale_count as u64,
+            nvm_reads: rep.nvm_reads,
+            nvm_writes: rep.nvm_writes,
+        }
+    }
+
+    /// Total user-visible dead time of this outage.
+    pub fn total_ns(&self) -> u64 {
+        self.reboot_ns + self.recovery_ns
+    }
+}
+
+/// The outages accumulated over a service horizon, in injection order.
+///
+/// Invariant (pinned by the serve report tests): the ledger's
+/// [`total_ns`](Self::total_ns) — the unavailability a serve report
+/// cites — is exactly the sum of its spans' `total_ns`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DowntimeLedger {
+    spans: Vec<DowntimeSpan>,
+}
+
+impl DowntimeLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one outage.
+    pub fn push(&mut self, span: DowntimeSpan) {
+        self.spans.push(span);
+    }
+
+    /// The recorded outages in injection order.
+    pub fn spans(&self) -> &[DowntimeSpan] {
+        &self.spans
+    }
+
+    /// Number of outages.
+    pub fn count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total unavailability: the sum of every span's dead time.
+    pub fn total_ns(&self) -> u64 {
+        self.spans.iter().map(DowntimeSpan::total_ns).sum()
+    }
+}
+
 /// Why recovery failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecoveryError {
@@ -701,5 +777,27 @@ mod tests {
             .unwrap();
         assert!(large.stale_count > small.stale_count);
         assert!(large.recovery_time_ns > small.recovery_time_ns);
+    }
+
+    #[test]
+    fn downtime_ledger_sums_spans() {
+        let rep = run_workload(SchemeKind::Star, 500)
+            .crash_and_recover()
+            .unwrap();
+        let span = DowntimeSpan::from_recovery(7_000, 1_000_000, &rep);
+        assert_eq!(span.recovery_ns, rep.recovery_time_ns);
+        assert_eq!(span.stale_nodes, rep.stale_count as u64);
+        assert_eq!(span.total_ns(), 1_000_000 + rep.recovery_time_ns);
+        let mut ledger = DowntimeLedger::new();
+        ledger.push(span.clone());
+        ledger.push(DowntimeSpan {
+            at_ns: 9_000,
+            reboot_ns: 1_000_000,
+            recovery_ns: 250,
+            ..Default::default()
+        });
+        assert_eq!(ledger.count(), 2);
+        assert_eq!(ledger.total_ns(), span.total_ns() + 1_000_250);
+        assert_eq!(ledger.spans()[1].at_ns, 9_000);
     }
 }

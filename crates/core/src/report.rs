@@ -24,7 +24,11 @@
 //! per-bank write/energy matrices, line-wear and stall/WPQ-depth
 //! histograms, windowed write-rate series — see [`star_prof`]) to
 //! `run-report`, and the `"bench-baseline"` document kind emitted by
-//! `star-bench baseline`.
+//! `star-bench baseline`;
+//! schema 5 added the `"serve"` document kind (star-serve service
+//! grids: per-scheme/per-tenant latency quantiles, goodput, downtime
+//! spans and unavailability — see `star_serve::report`). The shapes of
+//! the existing kinds are unchanged; only the version number moved.
 
 use crate::config::SchemeKind;
 use crate::stats::RunReport;
@@ -37,7 +41,7 @@ use std::fmt::Write as _;
 pub use star_trace::{json_f64, json_str, TracePart};
 
 /// Version of the JSON report schema this build emits.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The standard report preamble: `"schema_version":N,"kind":"...",`
 /// (trailing comma included), shared by every report type.

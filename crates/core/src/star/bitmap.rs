@@ -296,8 +296,8 @@ impl MultiLayerBitmap {
     /// line)` pairs in LRU-to-MRU order.
     ///
     /// The resident copies are the authoritative ones: an RA home may
-    /// still hold an older spilled copy, which [`crash_flush`]
-    /// (Self::crash_flush) overwrites. Exposed so tests and recovery
+    /// still hold an older spilled copy, which
+    /// [`crash_flush`](Self::crash_flush) overwrites. Exposed so tests and recovery
     /// audits can verify that resident and spilled lines partition the
     /// tracked stale set.
     pub fn adr_resident(&self) -> impl Iterator<Item = (LineAddr, &Line)> {

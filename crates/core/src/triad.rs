@@ -20,7 +20,7 @@
 
 use star_metadata::bmt::BonsaiMerkleTree;
 use star_metadata::{MacField, Node64, SitMac, TREE_ARITY};
-use star_nvm::{Line, LineAddr, NvmConfig, NvmDevice, WriteCause, PS_PER_NS};
+use star_nvm::{AccessClass, Line, LineAddr, NvmConfig, NvmDevice, WriteCause, PS_PER_NS};
 use star_trace::{TraceCategory, TraceRecorder};
 
 /// Configuration of the Triad-NVM baseline.
@@ -109,6 +109,16 @@ impl TriadMemory {
         self.nvm.stats()
     }
 
+    /// The controller clock, ps (advances with modeled NVM accesses).
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    /// Per-line wear summary of the whole device.
+    pub fn wear_summary(&self) -> star_nvm::WearSummary {
+        self.nvm.wear().summary()
+    }
+
     /// Write-provenance summary: data vs counter-block vs per-level BMT
     /// write-through traffic (the 2–4× amplification, attributed).
     pub fn prof_summary(&self) -> star_nvm::ProfSummary {
@@ -168,6 +178,36 @@ impl TriadMemory {
             level_base += self.level_count(_level);
             index /= TREE_ARITY as u64;
         }
+    }
+
+    /// Program load of data line `line`: reads it from NVM, verifies the
+    /// stored MAC against the live counter, and returns the content
+    /// version (0 for a never-written line). The front-end counterpart of
+    /// [`write_data`](Self::write_data) for the service simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range or the MAC check fails
+    /// (integrity violation).
+    pub fn read_data(&mut self, line: u64) -> u64 {
+        assert!(line < self.cfg.data_lines, "data line out of range");
+        let read = self
+            .nvm
+            .read(LineAddr::new(line), AccessClass::Data, self.now_ps);
+        self.now_ps += read.latency_ps;
+        if read.data.is_zero() {
+            return 0;
+        }
+        let dl = star_metadata::DataLine::from_line(&read.data);
+        let cb_idx = (line / TREE_ARITY as u64) as usize;
+        let slot = (line % TREE_ARITY as u64) as usize;
+        let counter = self.counter_blocks[cb_idx].counter(slot);
+        assert!(
+            self.mac
+                .verify_data(line, dl.payload(), counter, dl.mac_field()),
+            "integrity violation reading data line {line}"
+        );
+        u64::from_le_bytes(dl.payload()[..8].try_into().expect("8 bytes"))
     }
 
     /// Number of nodes at hash level `level` (level 2 = first hash level).
@@ -287,6 +327,36 @@ mod tests {
             "reads every counter block"
         );
         assert!(time_ns > 0);
+    }
+
+    #[test]
+    fn read_data_roundtrips_and_advances_the_clock() {
+        let mut m = small();
+        for i in 0..200u64 {
+            m.write_data((i * 13) % 4_096, i + 1);
+        }
+        let t0 = m.now_ps();
+        assert_eq!(m.read_data(199 * 13), 200);
+        assert!(m.now_ps() > t0, "reads cost modeled time");
+        assert_eq!(m.read_data(4_000), 0, "never-written lines read as 0");
+        assert_eq!(
+            m.nvm_stats().reads(AccessClass::Data),
+            2,
+            "both loads hit the device"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "integrity violation")]
+    fn tampered_data_line_fails_the_read_mac() {
+        let mut m = small();
+        m.write_data(17, 99);
+        // Flip a payload byte of the stored data line directly.
+        let addr = LineAddr::new(17);
+        let mut line = m.nvm.store().read(addr);
+        line.as_bytes_mut()[3] ^= 0x40;
+        m.nvm.store_mut().write(addr, line);
+        m.read_data(17);
     }
 
     #[test]

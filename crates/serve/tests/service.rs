@@ -1,0 +1,108 @@
+//! Acceptance coverage for the service simulator (ISSUE 6):
+//!
+//! * a multi-hour simulated run with ≥2 mid-stream power failures
+//!   completes for every engine scheme *and* Triad, reporting
+//!   p50/p99/p999 latency and nonzero unavailability;
+//! * the scheme×scenario grid is byte-identical at `threads` 1/2/4.
+
+use star_serve::{
+    run_grid, simulate, standard_scenarios, standard_scenarios_at, ServeConfig, ServeScheme,
+};
+
+/// Multi-hour horizon, two crashes, every backend.
+#[test]
+fn multi_hour_run_completes_for_every_scheme() {
+    let cfg = ServeConfig {
+        seed: 7,
+        ..ServeConfig::quick(3 * 3600)
+    };
+    let scenario = &standard_scenarios_at(&cfg, 0.3)[0];
+    assert!(scenario.crash_plan.len() >= 2);
+    for scheme in ServeScheme::ALL {
+        let out = simulate(scheme, scenario, &cfg);
+        let label = scheme.label();
+        assert!(out.requests > 1_000, "{label}: multi-hour load served");
+        let (p50, p99, p999) = (
+            out.latency.quantile(0.50),
+            out.latency.quantile(0.99),
+            out.latency.quantile(0.999),
+        );
+        assert!(p50 > 0 && p50 <= p99 && p99 <= p999, "{label}: quantiles");
+        assert!(
+            out.unavailability_ns() > 0,
+            "{label}: two crashes must cost dead time"
+        );
+        assert_eq!(out.downtime.count(), 2, "{label}: both crashes fired");
+        assert_eq!(
+            out.requests,
+            out.tenants.iter().map(|t| t.requests).sum::<u64>(),
+            "{label}: tenant counts sum to the total"
+        );
+        assert_eq!(
+            out.unavailability_ns(),
+            out.downtime
+                .spans()
+                .iter()
+                .map(|s| s.total_ns())
+                .sum::<u64>(),
+            "{label}: unavailability is exactly the sum of its spans"
+        );
+    }
+}
+
+/// The recovery hierarchy the paper predicts, as downtime: STAR's
+/// dirty-set recovery beats Triad's whole-memory counter scan, which
+/// beats WB's full rebuild; Strict pays only the reboot.
+#[test]
+fn downtime_ordering_matches_the_paper() {
+    let cfg = ServeConfig {
+        seed: 11,
+        ..ServeConfig::quick(600)
+    };
+    let scenario = &standard_scenarios(&cfg)[0];
+    let recovery_of = |scheme| {
+        let out = simulate(scheme, scenario, &cfg);
+        out.downtime
+            .spans()
+            .iter()
+            .map(|s| s.recovery_ns)
+            .sum::<u64>()
+    };
+    let strict = recovery_of(ServeScheme::Strict);
+    let star = recovery_of(ServeScheme::Star);
+    let triad = recovery_of(ServeScheme::Triad);
+    let wb = recovery_of(ServeScheme::Wb);
+    assert_eq!(strict, 0, "strict has nothing stale");
+    assert!(star > 0, "STAR restores its dirty set");
+    assert!(
+        star < triad,
+        "dirty-set recovery beats the full counter scan"
+    );
+    assert!(triad < wb, "counter scan beats the full rebuild");
+}
+
+/// Grid bytes are a pure function of the job list: any thread count
+/// reproduces the serial sweep exactly.
+#[test]
+fn serve_grid_is_byte_identical_across_thread_counts() {
+    let base = ServeConfig {
+        seed: 42,
+        ..ServeConfig::quick(20)
+    };
+    let scenarios = standard_scenarios(&base);
+    let json_at = |threads: usize| {
+        let cfg = ServeConfig {
+            threads,
+            ..base.clone()
+        };
+        run_grid(&cfg, &scenarios).to_json()
+    };
+    let serial = json_at(1);
+    assert_eq!(serial, json_at(2), "threads 2 must reproduce serial bytes");
+    assert_eq!(serial, json_at(4), "threads 4 must reproduce serial bytes");
+    assert_eq!(
+        serial,
+        json_at(1),
+        "repeated runs are deterministic end to end"
+    );
+}

@@ -99,6 +99,33 @@ impl Log2Hist {
             .filter(|(_, &n)| n > 0)
             .map(|(b, &n)| (Self::bucket_floor(b), n))
     }
+
+    /// The value at quantile `q` (clamped to `(0, 1]`): the inclusive
+    /// lower bound of the bucket holding the rank-`⌈q·count⌉` smallest
+    /// sample. Returns 0 on an empty histogram.
+    ///
+    /// Exactness bound (property-tested): a result `r > 0` brackets the
+    /// true order statistic `x` as `r <= x < 2r`; a result of 0 means
+    /// the true order statistic is exactly 0. Equivalently, the result
+    /// always lands in the same bucket as the exact quantile, so log2
+    /// percentiles (p50/p99/p999) are never off by more than one octave.
+    /// (Samples ≥ 2^63 saturate into the top bucket, where only the
+    /// lower bound `r <= x` holds.)
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(b);
+            }
+        }
+        Self::bucket_floor(63)
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +143,75 @@ mod tests {
         assert_eq!(Log2Hist::bucket_floor(0), 0);
         assert_eq!(Log2Hist::bucket_floor(1), 1);
         assert_eq!(Log2Hist::bucket_floor(3), 4);
+    }
+
+    /// Exactness-bounds property: against randomized sample sets, the
+    /// histogram quantile lands in the same log2 bucket as the exact
+    /// rank statistic and brackets it as `r <= x < 2r` (`x == 0` iff
+    /// `r == 0`).
+    #[test]
+    fn quantile_exactness_bounds() {
+        // Hand-rolled xorshift so the test has no cross-crate deps.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let n = 1 + (next() % 400) as usize;
+            let mut samples: Vec<u64> = (0..n)
+                .map(|_| {
+                    // Mix magnitudes: zeros, small, and full-range values.
+                    match next() % 4 {
+                        0 => 0,
+                        1 => next() % 16,
+                        2 => next() % 100_000,
+                        // Keep below 2^63: the saturating top bucket
+                        // only promises the lower bound.
+                        _ => next() >> 1,
+                    }
+                })
+                .collect();
+            let mut h = Log2Hist::new();
+            for &s in &samples {
+                h.observe(s);
+            }
+            samples.sort_unstable();
+            for &q in &[0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let exact = samples[rank - 1];
+                let got = h.quantile(q);
+                assert_eq!(
+                    Log2Hist::bucket_of(got),
+                    Log2Hist::bucket_of(exact),
+                    "trial {trial} q={q}: quantile bucket mismatch ({got} vs exact {exact})"
+                );
+                if got == 0 {
+                    assert_eq!(exact, 0, "trial {trial} q={q}");
+                } else {
+                    assert!(
+                        got <= exact && (exact >> 1) < got,
+                        "trial {trial} q={q}: {got} does not bracket {exact} within [r, 2r)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Log2Hist::new();
+        assert_eq!(h.quantile(0.5), 0);
+        let mut h = Log2Hist::new();
+        h.observe(7);
+        assert_eq!(h.quantile(0.0), 4);
+        assert_eq!(h.quantile(1.0), 4);
+        h.observe(1000);
+        // Rank-1 of two samples at q=0.5, rank-2 at q=1.0.
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 512);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Open-loop request arrival processes for the service simulator
+//! (star-serve).
+//!
+//! A tenant's offered load is a nonhomogeneous Poisson process: a base
+//! rate modulated by a [`LoadShape`] (diurnal sinusoid plus periodic
+//! burst storms). Arrival times are drawn by Lewis–Shedler thinning
+//! against the shape's rate envelope, so the stream is exact for the
+//! modulated rate and fully determined by the seed — the property the
+//! byte-identical serve grids rely on.
+
+use star_rng::SimRng;
+
+/// Nanoseconds per second, the unit boundary the arrival clock crosses.
+pub const NS_PER_S: f64 = 1e9;
+
+/// A deterministic rate modulator: diurnal sinusoid × burst windows.
+///
+/// The multiplier at time *t* is
+/// `(1 + A·sin(2πt/P)) · (B if t mod E < L else 1)` where `A` is the
+/// diurnal amplitude, `P` the diurnal period, and bursts multiply the
+/// rate by `B` for the first `L` seconds of every `E`-second window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadShape {
+    /// Diurnal amplitude `A` in `[0, 1)`; 0 disables the sinusoid.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period `P` in seconds.
+    pub diurnal_period_s: f64,
+    /// Burst multiplier `B >= 1`; 1 disables bursts.
+    pub burst_mult: f64,
+    /// Burst window length `E` in seconds.
+    pub burst_every_s: f64,
+    /// Burst duration `L` in seconds (the leading slice of each window).
+    pub burst_len_s: f64,
+}
+
+impl LoadShape {
+    /// A flat shape: multiplier 1 everywhere.
+    pub fn flat() -> Self {
+        Self {
+            diurnal_amplitude: 0.0,
+            diurnal_period_s: 1.0,
+            burst_mult: 1.0,
+            burst_every_s: 0.0,
+            burst_len_s: 0.0,
+        }
+    }
+
+    /// A pure diurnal sinusoid of amplitude `a` and period `period_s`.
+    pub fn diurnal(a: f64, period_s: f64) -> Self {
+        Self {
+            diurnal_amplitude: a,
+            diurnal_period_s: period_s,
+            ..Self::flat()
+        }
+    }
+
+    /// Burst storms: ×`mult` for the first `len_s` of every `every_s`.
+    pub fn bursty(mult: f64, every_s: f64, len_s: f64) -> Self {
+        Self {
+            burst_mult: mult,
+            burst_every_s: every_s,
+            burst_len_s: len_s,
+            ..Self::flat()
+        }
+    }
+
+    /// The rate multiplier at absolute time `t_ns`.
+    pub fn multiplier(&self, t_ns: u64) -> f64 {
+        let t_s = t_ns as f64 / NS_PER_S;
+        let mut m = 1.0;
+        if self.diurnal_amplitude > 0.0 && self.diurnal_period_s > 0.0 {
+            let phase = t_s / self.diurnal_period_s * std::f64::consts::TAU;
+            m *= 1.0 + self.diurnal_amplitude * phase.sin();
+        }
+        if self.burst_mult > 1.0
+            && self.burst_every_s > 0.0
+            && t_s % self.burst_every_s < self.burst_len_s
+        {
+            m *= self.burst_mult;
+        }
+        m.max(0.0)
+    }
+
+    /// An upper bound on [`multiplier`](Self::multiplier) over all time —
+    /// the thinning envelope.
+    pub fn max_multiplier(&self) -> f64 {
+        let diurnal = 1.0 + self.diurnal_amplitude.max(0.0);
+        let burst = self.burst_mult.max(1.0);
+        diurnal * burst
+    }
+}
+
+/// An open-loop arrival stream: iterator over arrival times in
+/// nanoseconds, strictly increasing, ending at the horizon.
+///
+/// Implements Lewis–Shedler thinning: candidate gaps are exponential at
+/// the envelope rate `rate_per_s × max_multiplier`, and each candidate
+/// is accepted with probability `multiplier(t) / max_multiplier`.
+#[derive(Debug, Clone)]
+pub struct OpenLoopArrivals {
+    rng: SimRng,
+    shape: LoadShape,
+    envelope_per_ns: f64,
+    t_ns: u64,
+    horizon_ns: u64,
+}
+
+impl OpenLoopArrivals {
+    /// A stream of arrivals at base rate `rate_per_s` shaped by `shape`,
+    /// over `[0, horizon_ns)`, fully determined by `seed`.
+    pub fn new(seed: u64, rate_per_s: f64, shape: LoadShape, horizon_ns: u64) -> Self {
+        let envelope_per_ns = rate_per_s.max(0.0) * shape.max_multiplier() / NS_PER_S;
+        Self {
+            rng: SimRng::seed_from_u64(seed),
+            shape,
+            envelope_per_ns,
+            t_ns: 0,
+            horizon_ns,
+        }
+    }
+}
+
+impl Iterator for OpenLoopArrivals {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.envelope_per_ns <= 0.0 {
+            return None;
+        }
+        let max_mult = self.shape.max_multiplier();
+        loop {
+            if self.t_ns >= self.horizon_ns {
+                return None;
+            }
+            // Exponential gap at the envelope rate; at least 1 ns so the
+            // per-tenant stream is strictly increasing (a total order the
+            // event loop's sort key relies on).
+            let u = self.rng.gen_f64();
+            let gap_ns = (-(1.0 - u).ln() / self.envelope_per_ns).ceil();
+            let gap_ns = if gap_ns >= 1.0 { gap_ns as u64 } else { 1 };
+            self.t_ns = self.t_ns.saturating_add(gap_ns);
+            if self.t_ns >= self.horizon_ns {
+                return None;
+            }
+            let accept = self.shape.multiplier(self.t_ns) / max_mult;
+            if self.rng.gen_f64() < accept {
+                return Some(self.t_ns);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_rate_hits_expected_count() {
+        let n = OpenLoopArrivals::new(1, 100.0, LoadShape::flat(), 10 * NS_PER_S as u64).count();
+        // 1000 expected arrivals; Poisson σ ≈ 32.
+        assert!((850..1150).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> =
+            OpenLoopArrivals::new(7, 50.0, LoadShape::bursty(4.0, 2.0, 0.5), 4_000_000_000)
+                .collect();
+        let b: Vec<_> =
+            OpenLoopArrivals::new(7, 50.0, LoadShape::bursty(4.0, 2.0, 0.5), 4_000_000_000)
+                .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(a.iter().all(|&t| t < 4_000_000_000));
+    }
+
+    #[test]
+    fn bursts_concentrate_arrivals() {
+        let shape = LoadShape::bursty(8.0, 10.0, 1.0);
+        let arrivals: Vec<_> =
+            OpenLoopArrivals::new(3, 20.0, shape.clone(), 100 * NS_PER_S as u64).collect();
+        let in_burst = arrivals
+            .iter()
+            .filter(|&&t| (t as f64 / NS_PER_S) % 10.0 < 1.0)
+            .count();
+        // Burst slices are 10% of wall time but ×8 rate ⇒ ~47% of load.
+        assert!(
+            in_burst as f64 / arrivals.len() as f64 > 0.3,
+            "{in_burst}/{} arrivals in burst windows",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_shape_modulates() {
+        let shape = LoadShape::diurnal(0.9, 100.0);
+        // Peak at t = P/4, trough at t = 3P/4.
+        let peak = shape.multiplier(25 * NS_PER_S as u64);
+        let trough = shape.multiplier(75 * NS_PER_S as u64);
+        assert!(peak > 1.8 && trough < 0.2, "peak {peak}, trough {trough}");
+        assert!(shape.max_multiplier() >= peak);
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        assert_eq!(
+            OpenLoopArrivals::new(1, 0.0, LoadShape::flat(), 1_000_000).count(),
+            0
+        );
+    }
+}

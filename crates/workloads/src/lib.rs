@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod heap;
 pub mod kind;
 pub mod micro;
@@ -35,6 +36,7 @@ pub mod tpcc;
 pub mod ycsb;
 pub mod zipf;
 
+pub use arrival::{LoadShape, OpenLoopArrivals};
 pub use heap::{Pmem, VolatileSet};
 pub use kind::WorkloadKind;
 pub use multi::MultiThreaded;

@@ -24,6 +24,11 @@
 //!   tagged with a [`prof::WriteCause`] at its origin, aggregated into
 //!   per-cause/per-bank matrices, wear and write-rate histograms, and the
 //!   report's `"prof"` object (DESIGN.md §9).
+//! * [`serve`] — an open-loop discrete-event secure-KV service simulator:
+//!   multi-tenant zipfian traffic with diurnal/burst load shapes, crash
+//!   plans that turn recovery time into user-visible unavailability, and
+//!   schema-v5 `serve` reports with p50/p99/p999 latency per scheme and
+//!   tenant (DESIGN.md §11).
 //!
 //! # Quickstart
 //!
@@ -45,5 +50,6 @@ pub use star_mem as mem;
 pub use star_metadata as metadata;
 pub use star_nvm as nvm;
 pub use star_prof as prof;
+pub use star_serve as serve;
 pub use star_trace as trace;
 pub use star_workloads as workloads;

@@ -1,11 +1,16 @@
-//! Golden-file coverage for report schema v4.
+//! Golden-file coverage for report schema v5.
 //!
-//! The committed `tests/golden/run_report_v4.json` pins the exact bytes
-//! of a canonical [`RunReport`](star::core::RunReport) — field order,
-//! escaping, float formatting, the `"prof"` provenance object — so any
-//! schema drift shows up as a reviewable diff instead of silently
-//! breaking downstream consumers. Refresh after an *intended* schema
-//! change (bumping `SCHEMA_VERSION` where appropriate) with:
+//! Two committed golden files pin exact report bytes — field order,
+//! escaping, float formatting — so any schema drift shows up as a
+//! reviewable diff instead of silently breaking downstream consumers:
+//!
+//! * `tests/golden/run_report_v5.json` — a canonical
+//!   [`RunReport`](star::core::RunReport) (the `run-report` kind);
+//! * `tests/golden/serve_report_v5.json` — a canonical star-serve grid
+//!   (the `serve` kind added in schema 5).
+//!
+//! Refresh after an *intended* schema change (bumping `SCHEMA_VERSION`
+//! where appropriate) with:
 //!
 //! ```text
 //! REGEN_GOLDEN=1 cargo test --test report_schema
@@ -13,13 +18,18 @@
 
 use star::core::{SchemeKind, SecureMemConfig, SecureMemory, SCHEMA_VERSION};
 use star::prof::JsonValue;
+use star::serve::{run_grid, standard_scenarios, ServeConfig};
 
-const GOLDEN: &str = concat!(
+const GOLDEN_RUN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/run_report_v4.json"
+    "/tests/golden/run_report_v5.json"
+);
+const GOLDEN_SERVE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/serve_report_v5.json"
 );
 
-/// The canonical deterministic run the golden file freezes.
+/// The canonical deterministic run the run-report golden freezes.
 fn canonical_report_json() -> String {
     let mut m = SecureMemory::new(SchemeKind::Star, SecureMemConfig::small());
     for i in 0..200 {
@@ -27,6 +37,30 @@ fn canonical_report_json() -> String {
         m.persist_data(i % 11);
     }
     m.report().to_json()
+}
+
+/// The canonical serve grid the serve golden freezes: the standard
+/// scheme×scenario grid over a 10-second horizon (long enough that both
+/// mid-stream power failures of every scenario fire).
+fn canonical_serve_json() -> String {
+    let cfg = ServeConfig::quick(10);
+    run_grid(&cfg, &standard_scenarios(&cfg)).to_json()
+}
+
+/// Byte-compares (or, under `REGEN_GOLDEN=1`, rewrites) one golden file.
+fn check_golden(path: &str, got: &str) {
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(path, got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect(
+        "golden file missing — regenerate with REGEN_GOLDEN=1 cargo test --test report_schema",
+    );
+    assert_eq!(
+        got, &want,
+        "report JSON drifted from {path}; if the change is intended, review the \
+         schema-version history in star_core::report and regenerate with REGEN_GOLDEN=1"
+    );
 }
 
 /// Sums every numeric value of the JSON object at `path`.
@@ -46,20 +80,12 @@ fn object_sum(doc: &JsonValue, path: &[&str]) -> u64 {
 
 #[test]
 fn run_report_matches_committed_golden_bytes() {
-    let got = canonical_report_json();
-    if std::env::var_os("REGEN_GOLDEN").is_some() {
-        std::fs::write(GOLDEN, &got).expect("write golden file");
-        return;
-    }
-    let want = std::fs::read_to_string(GOLDEN).expect(
-        "golden file missing — regenerate with REGEN_GOLDEN=1 cargo test --test report_schema",
-    );
-    assert_eq!(
-        got, want,
-        "RunReport JSON drifted from tests/golden/run_report_v4.json; if the change is \
-         intended, review the schema-version history in star_core::report and regenerate \
-         with REGEN_GOLDEN=1"
-    );
+    check_golden(GOLDEN_RUN, &canonical_report_json());
+}
+
+#[test]
+fn serve_report_matches_committed_golden_bytes() {
+    check_golden(GOLDEN_SERVE, &canonical_serve_json());
 }
 
 #[test]
@@ -91,6 +117,71 @@ fn golden_report_roundtrips_and_balances() {
         object_sum(&doc, &["prof", "energy_by_cause"]),
         device_writes * write_pj
     );
+}
+
+/// The schema-v5 `serve` invariants, checked on the emitted JSON rather
+/// than the in-memory structs: every cell's per-tenant request counts
+/// sum to the cell total, and its reported unavailability is exactly the
+/// sum of its downtime spans' `total_ns`.
+#[test]
+fn golden_serve_report_balances() {
+    let doc = JsonValue::parse(&canonical_serve_json()).expect("serve report parses");
+    assert_eq!(
+        doc.get("schema_version").and_then(JsonValue::as_u64),
+        Some(u64::from(SCHEMA_VERSION))
+    );
+    assert_eq!(doc.get("kind").and_then(JsonValue::as_str), Some("serve"));
+    let JsonValue::Arr(cells) = doc.get("cells").expect("cells") else {
+        panic!("cells is not an array");
+    };
+    assert_eq!(cells.len(), 15, "5 schemes x 3 scenarios");
+    for cell in cells {
+        let label = format!(
+            "{}/{}",
+            cell.get("scheme").and_then(JsonValue::as_str).unwrap(),
+            cell.get("scenario").and_then(JsonValue::as_str).unwrap()
+        );
+        let requests = cell.get("requests").and_then(JsonValue::as_u64).unwrap();
+        let JsonValue::Arr(tenants) = cell.get("tenants").expect("tenants") else {
+            panic!("tenants is not an array");
+        };
+        let tenant_sum: u64 = tenants
+            .iter()
+            .map(|t| t.get("requests").and_then(JsonValue::as_u64).unwrap())
+            .sum();
+        assert_eq!(tenant_sum, requests, "{label}: tenant counts sum to total");
+        let unavailability = cell
+            .get("unavailability_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap();
+        let JsonValue::Arr(spans) = cell.get("downtime_spans").expect("downtime_spans") else {
+            panic!("downtime_spans is not an array");
+        };
+        let span_sum: u64 = spans
+            .iter()
+            .map(|s| s.get("total_ns").and_then(JsonValue::as_u64).unwrap())
+            .sum();
+        assert_eq!(
+            unavailability, span_sum,
+            "{label}: unavailability is the sum of its spans"
+        );
+        assert_eq!(
+            cell.get("crashes").and_then(JsonValue::as_u64),
+            Some(spans.len() as u64),
+            "{label}: crash count matches the span list"
+        );
+        // Provenance decomposes the horizon's writes for every backend.
+        let nvm_writes = cell
+            .get("nvm")
+            .and_then(|n| n.get("writes"))
+            .and_then(JsonValue::as_u64)
+            .unwrap();
+        assert_eq!(
+            object_sum(cell, &["writes_by_cause"]),
+            nvm_writes,
+            "{label}: writes_by_cause decomposes nvm.writes"
+        );
+    }
 }
 
 /// The schema-v4 invariant of ISSUE 4: for every scheme with a device,
