@@ -1,0 +1,52 @@
+//! Benchmarks of exhaustive crash-schedule sweeps: the fork strategy
+//! (execute once, fork the machine at each persist point) against the
+//! from-scratch replay oracle. The gated BENCH_PR.json figure comes
+//! from `star-bench baseline --sweep-bench`; this bench is the
+//! interactive view of the same A/B, on both a persist-every-op
+//! workload (array) and the low-persist-rate checkpoint workload the
+//! gate runs (ckpt).
+
+use star_bench::microbench::{BenchmarkId, Criterion};
+use star_bench::sweep_explorer;
+use star_core::SchemeKind;
+use star_faultsim::{CrashExplorer, ExploreStrategy};
+use star_workloads::WorkloadKind;
+use std::hint::black_box;
+
+const STRATEGIES: [(&str, ExploreStrategy); 2] = [
+    ("fork", ExploreStrategy::Fork),
+    ("replay", ExploreStrategy::Replay),
+];
+
+fn bench_array_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crash_sweep/exhaustive_80op_star_array");
+    group.sample_size(10);
+    for (label, strategy) in STRATEGIES {
+        let explorer = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 80, 42)
+            .all_points()
+            .with_strategy(strategy);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &explorer, |b, e| {
+            b.iter(|| black_box(e.explore()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ckpt_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crash_sweep/exhaustive_400op_star_ckpt");
+    group.sample_size(10);
+    for (label, strategy) in STRATEGIES {
+        let explorer = sweep_explorer(400, 42).with_strategy(strategy);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &explorer, |b, e| {
+            b.iter(|| black_box(e.explore()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_array_sweep(&mut c);
+    bench_ckpt_sweep(&mut c);
+    c.report();
+}

@@ -15,6 +15,7 @@
 //! across `--jobs` counts and across repeated runs.
 
 use crate::harness::{run_and_crash, run_scheme, ExperimentConfig};
+use crate::sweepbench::SweepBench;
 use star_core::report::{json_f64, json_str, schema_preamble};
 use star_core::triad::{TriadConfig, TriadMemory};
 use star_core::SchemeKind;
@@ -87,6 +88,12 @@ pub struct BaselineReport {
     pub seed: u64,
     /// Per-cell metrics, in fixed grid order.
     pub rows: Vec<BaselineRow>,
+    /// The fork-vs-replay crash-sweep measurement (`--sweep-bench`),
+    /// serialized under `"crash_sweep_fork"`.
+    pub sweep: Option<SweepBench>,
+    /// Minimum fork-over-replay speedup the committed baseline demands
+    /// of a `--sweep-bench` run; `None` leaves the sweep ungated.
+    pub min_sweep_speedup: Option<f64>,
 }
 
 /// The engine schemes in the grid, in row order.
@@ -184,6 +191,8 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
         ops: cfg.ops as u64,
         seed: cfg.seed,
         rows,
+        sweep: None,
+        min_sweep_speedup: None,
     }
 }
 
@@ -213,7 +222,25 @@ impl BaselineReport {
                 row.recovery_ns
             );
         }
-        out.push_str("]}");
+        out.push(']');
+        if self.sweep.is_some() || self.min_sweep_speedup.is_some() {
+            out.push_str(",\"crash_sweep_fork\":{");
+            let mut first = true;
+            if let Some(sweep) = &self.sweep {
+                let body = sweep.to_json();
+                // Splice the measured fields in without their braces.
+                out.push_str(&body[1..body.len() - 1]);
+                first = false;
+            }
+            if let Some(floor) = self.min_sweep_speedup {
+                if !first {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"min_speedup\":{}", json_f64(floor));
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
@@ -265,7 +292,47 @@ impl BaselineReport {
                 recovery_ns: int_field("recovery_ns")?,
             });
         }
-        Ok(BaselineReport { ops, seed, rows })
+        let mut sweep = None;
+        let mut min_sweep_speedup = None;
+        if let Some(obj) = doc.get("crash_sweep_fork") {
+            min_sweep_speedup = obj.get("min_speedup").and_then(JsonValue::as_f64);
+            // The measured fields travel together; "speedup" marks their
+            // presence (a committed baseline carries only the floor).
+            if let Some(speedup) = obj.get("speedup").and_then(JsonValue::as_f64) {
+                let text_field = |name: &str| {
+                    obj.get(name)
+                        .and_then(JsonValue::as_str)
+                        .map(String::from)
+                        .ok_or_else(|| format!("crash_sweep_fork missing string field {name:?}"))
+                };
+                let int_field = |name: &str| {
+                    obj.get(name)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("crash_sweep_fork missing integer field {name:?}"))
+                };
+                let ms_field = |name: &str| {
+                    obj.get(name)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("crash_sweep_fork missing number field {name:?}"))
+                };
+                sweep = Some(SweepBench {
+                    workload: text_field("workload")?,
+                    scheme: text_field("scheme")?,
+                    ops: int_field("ops")?,
+                    points: int_field("points")?,
+                    replay_ms: ms_field("replay_ms")?,
+                    fork_ms: ms_field("fork_ms")?,
+                    speedup,
+                });
+            }
+        }
+        Ok(BaselineReport {
+            ops,
+            seed,
+            rows,
+            sweep,
+            min_sweep_speedup,
+        })
     }
 }
 
@@ -371,6 +438,25 @@ pub fn check(current: &BaselineReport, baseline: &BaselineReport) -> Result<Chec
             ));
         }
     }
+    // The crash-sweep gate: wall-clock speedups are machine-dependent,
+    // so the committed baseline pins an absolute floor rather than a
+    // relative tolerance, and a pinned floor makes the measurement
+    // mandatory.
+    if let Some(floor) = baseline.min_sweep_speedup {
+        let Some(sweep) = &current.sweep else {
+            return Err(format!(
+                "baseline pins crash_sweep_fork min_speedup {floor}, but the current run \
+                 carries no sweep measurement — re-run with --sweep-bench"
+            ));
+        };
+        if sweep.speedup < floor {
+            out.regressions.push(format!(
+                "crash_sweep_fork speedup: {:.1}x < required {floor}x \
+                 (fork {:.1} ms vs replay {:.1} ms over {} points)",
+                sweep.speedup, sweep.fork_ms, sweep.replay_ms, sweep.points
+            ));
+        }
+    }
     Ok(out)
 }
 
@@ -445,6 +531,53 @@ mod tests {
         c.rows.pop();
         assert!(check(&c, &a).is_err(), "missing cell in current");
         assert!(check(&a, &c).is_err(), "extra cell vs baseline");
+    }
+
+    fn sample_sweep() -> SweepBench {
+        SweepBench {
+            workload: "array".into(),
+            scheme: "star".into(),
+            ops: 220,
+            points: 260,
+            replay_ms: 96.5,
+            fork_ms: 7.5,
+            speedup: 96.5 / 7.5,
+        }
+    }
+
+    #[test]
+    fn sweep_fields_roundtrip_through_json() {
+        let mut report = run_baseline(&tiny());
+        report.sweep = Some(sample_sweep());
+        report.min_sweep_speedup = Some(5.0);
+        let parsed = BaselineReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+        // The committed-baseline shape — a floor with no measurement —
+        // roundtrips too.
+        report.sweep = None;
+        let parsed = BaselineReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn sweep_floor_gates_the_speedup() {
+        let mut baseline = run_baseline(&tiny());
+        baseline.min_sweep_speedup = Some(5.0);
+        // A pinned floor makes the measurement mandatory.
+        let bare = run_baseline(&tiny());
+        assert!(check(&bare, &baseline).is_err());
+        let mut fast = bare.clone();
+        fast.sweep = Some(sample_sweep());
+        assert!(check(&fast, &baseline).expect("same grid").passed());
+        let mut slow = bare.clone();
+        slow.sweep = Some(SweepBench {
+            replay_ms: 9.0,
+            speedup: 9.0 / 7.5,
+            ..sample_sweep()
+        });
+        let verdict = check(&slow, &baseline).expect("same grid");
+        assert!(!verdict.passed());
+        assert!(verdict.regressions[0].contains("crash_sweep_fork"));
     }
 
     #[test]

@@ -4,17 +4,20 @@
 //! faultsim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N]
 //!          [--seed S] [--fault crash|drop-wpq|torn|flip-mac|flip-counter]
 //!          [--exhaustive] [--max-cases N] [--sample-seed S]
-//!          [--lsb-bits B] [--threads N] [--json PATH]
+//!          [--lsb-bits B] [--threads N] [--replay] [--json PATH]
 //!          [--trace PATH] [--trace-case SEQ] [--trace-filter CATS]
 //! ```
 //!
-//! Replays the (workload, scheme, seed) run once per persist point with a
-//! crash injected there, recovers, classifies every case, and prints a
-//! summary table. `--threads N` shards the replays across a fixed pool
-//! of N workers; the report (including `--json` bytes) is identical for
-//! every thread count — see `star_sweep`'s determinism contract.
-//! `--json PATH` additionally writes the full machine-readable report
-//! (`-` for stdout).
+//! Executes the (workload, scheme, seed) run **once**, forks the whole
+//! machine at each chosen persist point, and runs only the crash,
+//! recovery and classification per case. `--replay` switches to the
+//! legacy strategy that replays the run from scratch per case — the
+//! report is byte-identical either way (CI enforces this), replay is
+//! just O(ops x cases) slower. `--threads N` shards the cases across a
+//! fixed pool of N workers; the report (including `--json` bytes) is
+//! identical for every thread count — see `star_sweep`'s determinism
+//! contract. `--json PATH` additionally writes the full
+//! machine-readable report (`-` for stdout).
 //!
 //! `--trace PATH` re-runs one explored case with star-trace recording on
 //! and writes its timeline — pre-crash engine activity, the injected
@@ -30,7 +33,7 @@
 use star_core::report::{trace_to_chrome_json, trace_to_jsonl};
 use star_core::SchemeKind;
 use star_faultsim::{
-    explore, run_case_traced, scheme_from_label, ExplorePlan, FaultCase, FaultKind, SimSetup,
+    faultsim_config, scheme_from_label, CrashExplorer, ExploreStrategy, FaultCase, FaultKind,
 };
 use star_trace::{CatMask, TracePart};
 use star_workloads::WorkloadKind;
@@ -46,6 +49,7 @@ struct Options {
     max_cases: usize,
     sample_seed: u64,
     threads: usize,
+    replay: bool,
     lsb_bits: Option<u32>,
     json: Option<String>,
     trace: Option<String>,
@@ -65,6 +69,7 @@ impl Default for Options {
             max_cases: 256,
             sample_seed: 1,
             threads: 1,
+            replay: false,
             lsb_bits: None,
             json: None,
             trace: None,
@@ -78,8 +83,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: faultsim [--scheme wb|strict|anubis|star] [--workload NAME] [--ops N] \
          [--seed S] [--fault crash|drop-wpq|torn|flip-mac|flip-counter] [--exhaustive] \
-         [--max-cases N] [--sample-seed S] [--lsb-bits B] [--threads N] [--json PATH] \
-         [--trace PATH] [--trace-case SEQ] [--trace-filter CATS]"
+         [--max-cases N] [--sample-seed S] [--lsb-bits B] [--threads N] [--replay] \
+         [--json PATH] [--trace PATH] [--trace-case SEQ] [--trace-filter CATS]"
     );
     std::process::exit(2);
 }
@@ -123,6 +128,7 @@ fn parse_args() -> Options {
                 opts.sample_seed = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
             }
             "--threads" => opts.threads = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--replay" => opts.replay = true,
             "--lsb-bits" => {
                 opts.lsb_bits = Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
             }
@@ -147,28 +153,40 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
-    let mut setup = SimSetup::new(opts.scheme, opts.workload, opts.ops, opts.seed);
+    let mut cfg = faultsim_config();
     if let Some(bits) = opts.lsb_bits {
-        setup.cfg.counter_lsb_bits = bits;
-        if let Err(msg) = setup.cfg.validate() {
+        cfg.counter_lsb_bits = bits;
+        if let Err(msg) = cfg.validate() {
             eprintln!("invalid configuration: {msg}");
             std::process::exit(2);
         }
     }
-    let plan = ExplorePlan {
-        setup,
-        fault: opts.fault,
-        exhaustive: opts.exhaustive,
-        max_cases: opts.max_cases,
-        sample_seed: opts.sample_seed,
-        threads: opts.threads,
+    let strategy = if opts.replay {
+        ExploreStrategy::Replay
+    } else {
+        ExploreStrategy::Fork
     };
+    let mut explorer = CrashExplorer::new(opts.scheme, opts.workload, opts.ops, opts.seed)
+        .with_config(cfg)
+        .with_fault(opts.fault)
+        .with_max_cases(opts.max_cases)
+        .with_sample_seed(opts.sample_seed)
+        .with_threads(opts.threads)
+        .with_strategy(strategy);
+    if opts.exhaustive {
+        explorer = explorer.all_points();
+    }
 
     eprintln!(
-        "exploring crash schedule: {} x {} ops under {} (fault: {}, {} threads)...",
-        opts.workload, opts.ops, opts.scheme, opts.fault, opts.threads
+        "exploring crash schedule: {} x {} ops under {} (fault: {}, {} threads, {} strategy)...",
+        opts.workload,
+        opts.ops,
+        opts.scheme,
+        opts.fault,
+        opts.threads,
+        if opts.replay { "replay" } else { "fork" }
     );
-    let report = explore(&plan);
+    let report = explorer.explore();
     print!("{}", report.summary_table());
 
     if let Some(path) = &opts.json {
@@ -196,7 +214,7 @@ fn main() {
             fault: opts.fault,
         };
         eprintln!("replaying case at persist point {seq} with tracing...");
-        let (result, trace) = run_case_traced(&plan.setup, &case, opts.trace_filter);
+        let (result, trace) = explorer.run_case_traced(&case, opts.trace_filter);
         eprintln!(
             "traced case outcome: {} ({})",
             result.outcome, result.detail
@@ -232,7 +250,7 @@ fn main() {
 
     if !report.clean() {
         eprintln!("FAIL: silent corruption found");
-        print_minimal_silent_program(&plan.setup, opts.workload, opts.ops, opts.seed);
+        print_minimal_silent_program(&explorer, opts.workload, opts.ops, opts.seed);
         std::process::exit(1);
     }
 }
@@ -242,13 +260,18 @@ fn main() {
 /// produces a silent-corruption crash point, and prints it with a
 /// replayable JSON repro — so the failure travels as a few ops instead
 /// of a case index into a particular workload binary.
-fn print_minimal_silent_program(setup: &SimSetup, workload: WorkloadKind, ops: usize, seed: u64) {
-    use star_check::{find_silent_crash, shrink_ops, CrashPlan, ProgramRecorder};
+fn print_minimal_silent_program(
+    explorer: &CrashExplorer,
+    workload: WorkloadKind,
+    ops: usize,
+    seed: u64,
+) {
+    use star_check::{find_silent_crash, shrink_ops, CrashSpec, ProgramRecorder};
 
-    let scheme = setup.scheme;
+    let scheme = explorer.scheme();
     let mut recorder = ProgramRecorder::new();
     workload.instantiate(seed).run(ops, &mut recorder);
-    let program = recorder.into_program(&setup.cfg, CrashPlan::None);
+    let program = recorder.into_program(explorer.config(), CrashSpec::None);
 
     const CRASH_SCAN_CAP: usize = 64;
     let Some((seq, detail)) = find_silent_crash(&program, scheme, CRASH_SCAN_CAP) else {
@@ -266,7 +289,7 @@ fn print_minimal_silent_program(setup: &SimSetup, workload: WorkloadKind, ops: u
     let (seq, _) = find_silent_crash(&minimal, scheme, CRASH_SCAN_CAP)
         .expect("shrink preserves the failing predicate");
     let mut repro = minimal.clone();
-    repro.crash = CrashPlan::At(seq);
+    repro.crash = CrashSpec::At(seq);
 
     println!(
         "minimal silent-corruption program ({} of {} recorded ops, crash at persist point {seq}):",

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE]
-//!                     [--check FILE]
+//!                     [--check FILE] [--sweep-bench] [--sweep-ops N]
 //! star-bench check    [--cases N] [--seed S] [--threads T] [--ops-max N]
 //!                     [--json FILE] [--repro FILE]
 //! star-bench serve    [--horizon-s N] [--rate R] [--seed S] [--threads T]
@@ -15,7 +15,11 @@
 //! `--check FILE` it also diffs the fresh run against a committed
 //! baseline (normally `bench/baseline.json`) and exits non-zero when
 //! any cell regressed beyond its threshold: +5 % write traffic or
-//! energy, −5 % IPC, +10 % recovery time.
+//! energy, −5 % IPC, +10 % recovery time. `--sweep-bench` additionally
+//! times an exhaustive star/ckpt crash sweep under the fork and replay
+//! strategies (asserting byte-identical reports) and records the
+//! speedup under `"crash_sweep_fork"`; a `min_speedup` floor pinned in
+//! the committed baseline makes that measurement a gate.
 //!
 //! `check` is the property-based differential checker (`star-check`):
 //! `--cases N` seeded random programs run through every scheme engine
@@ -37,6 +41,7 @@
 //! moved the numbers.
 
 use star_bench::baseline::{check, run_baseline, BaselineConfig, BaselineReport};
+use star_bench::sweepbench::{run_sweep_bench, SWEEP_BENCH_OPS};
 use star_check::{run_check, CheckConfig, Program};
 use star_core::SecureMemConfig;
 use star_serve::{run_grid, standard_scenarios_at, ServeConfig};
@@ -44,7 +49,8 @@ use std::io::Read as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE] [--check FILE]\n\
+        "usage: star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE] [--check FILE] \
+         [--sweep-bench] [--sweep-ops N]\n\
          \x20      star-bench check [--cases N] [--seed S] [--threads T] [--ops-max N] \
          [--json FILE] [--repro FILE]\n\
          \x20      star-bench serve [--horizon-s N] [--rate R] [--seed S] [--threads T] \
@@ -208,6 +214,8 @@ fn baseline_cmd(args: &[String]) {
         *i += 1;
         args.get(*i).cloned().unwrap_or_else(|| usage())
     };
+    let mut sweep_bench = false;
+    let mut sweep_ops = SWEEP_BENCH_OPS;
     while i < args.len() {
         match args[i].as_str() {
             "--ops" => cfg.ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
@@ -215,6 +223,8 @@ fn baseline_cmd(args: &[String]) {
             "--jobs" => cfg.jobs = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = value(args, &mut i),
             "--check" => check_path = Some(value(args, &mut i)),
+            "--sweep-bench" => sweep_bench = true,
+            "--sweep-ops" => sweep_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -225,7 +235,17 @@ fn baseline_cmd(args: &[String]) {
         "baseline: {} ops, seed {}, {} job(s)...",
         cfg.ops, cfg.seed, cfg.jobs
     );
-    let report = run_baseline(&cfg);
+    let mut report = run_baseline(&cfg);
+
+    if sweep_bench {
+        eprintln!("crash_sweep_fork: exhaustive {sweep_ops}-op star/ckpt sweep, fork vs replay...");
+        let sweep = run_sweep_bench(sweep_ops, cfg.seed);
+        println!(
+            "crash_sweep_fork: {} points, fork {:.1} ms, replay {:.1} ms -> {:.1}x",
+            sweep.points, sweep.fork_ms, sweep.replay_ms, sweep.speedup
+        );
+        report.sweep = Some(sweep);
+    }
 
     println!(
         "{:<10} {:<7} {:>12} {:>7} {:>14} {:>12}",

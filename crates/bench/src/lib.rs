@@ -14,6 +14,8 @@ pub mod experiments;
 pub mod harness;
 pub mod microbench;
 pub mod paper;
+pub mod sweepbench;
 
 pub use baseline::{check, run_baseline, BaselineConfig, BaselineReport, CheckReport};
 pub use harness::{run_scheme, run_scheme_traced, CrashOutcome, ExperimentConfig, RunTrace};
+pub use sweepbench::{run_sweep_bench, sweep_explorer, CkptWorkload, SweepBench, SWEEP_BENCH_OPS};

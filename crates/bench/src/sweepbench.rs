@@ -1,0 +1,263 @@
+//! The `crash_sweep_fork` wall-clock bench: fork-based exhaustive crash
+//! sweeps against the from-scratch replay oracle.
+//!
+//! [`CrashExplorer`]'s fork strategy
+//! executes the workload once and forks the machine at every persist
+//! point, so an exhaustive sweep costs O(ops) engine steps instead of
+//! the replay strategy's O(ops²). [`run_sweep_bench`] times both
+//! strategies over the same sweep, asserts their reports are
+//! byte-identical (the correctness contract the speedup rides on), and
+//! returns the measured [`SweepBench`] row that `star-bench baseline
+//! --sweep-bench` embeds in `BENCH_PR.json`. The committed
+//! `bench/baseline.json` pins a `min_speedup` floor that
+//! [`check`](crate::baseline::check) enforces, turning the asymptotic
+//! win into a CI gate.
+//!
+//! The sweep runs [`CkptWorkload`]: in-memory compute with periodic
+//! durable checkpoints, the workload class the paper's fast-recovery
+//! argument targets and the one where per-case cost splits most cleanly
+//! into "re-execute the prefix" (what the fork strategy amortizes away)
+//! versus "crash, recover, verify" (inherent to every case). The
+//! paper-registry workloads persist on every operation, so their sweeps
+//! are dominated by the shared recovery/readback work and understate
+//! the strategy difference.
+
+use star_core::report::{json_f64, json_str};
+use star_core::SchemeKind;
+use star_faultsim::{faultsim_config, CrashExplorer, ExploreReport, ExploreStrategy};
+use star_mem::TraceSink;
+use star_rng::SimRng;
+use star_workloads::{Pmem, Workload};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default operation count for the gated sweep: long enough that the
+/// schedule has well over 200 persist points and the O(ops) vs O(ops²)
+/// separation dominates timer noise.
+pub const SWEEP_BENCH_OPS: usize = 4000;
+
+/// Label [`CkptWorkload`] reports under.
+pub const CKPT_LABEL: &str = "ckpt";
+
+/// Compute instructions per operation.
+const CKPT_WORK: u64 = 800;
+/// Read-only working-set accesses per operation. The set is larger than
+/// the LLC, so most are real memory-side fills; reads alone keep the
+/// persist schedule at exactly one point per checkpoint (dirty evictions
+/// would commit data lines of their own).
+const CKPT_CHURN: usize = 32;
+/// Operations between durable checkpoints.
+const CKPT_PERIOD: u32 = 10;
+/// Checkpoint-record ring size in lines. Small on purpose: the ring
+/// bounds the committed set the readback oracle must verify per case.
+const CKPT_RING_LINES: u64 = 64;
+/// Read-only working-set size in lines (8 MB).
+const CKPT_READ_LINES: u64 = (8 << 20) / 64;
+
+/// `ckpt`: in-memory compute with periodic durable checkpoints.
+///
+/// Each operation does compute (`CKPT_WORK` instructions) and reads
+/// `CKPT_CHURN` random lines of a working set larger than the LLC;
+/// every `CKPT_PERIOD`th operation appends one checkpoint record to a
+/// persistent ring (`store` + `clwb` + `sfence`). The persist rate is
+/// therefore 1/`CKPT_PERIOD` of the paper-registry workloads', which
+/// is the point: replaying to a crash point re-pays all the compute and
+/// reads, while a fork pays only the crash itself.
+#[derive(Debug, Clone)]
+pub struct CkptWorkload {
+    pmem: Pmem,
+    ring_base: u64,
+    cursor: u64,
+    read_base: u64,
+    rng: SimRng,
+    since_ckpt: u32,
+}
+
+impl CkptWorkload {
+    /// A fresh checkpoint workload seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut pmem = Pmem::new(
+            star_workloads::micro::HEAP_BASE,
+            star_workloads::micro::HEAP_LINES,
+        );
+        let ring_base = pmem.alloc(CKPT_RING_LINES);
+        let read_base = pmem.alloc(CKPT_READ_LINES);
+        Self {
+            pmem,
+            ring_base,
+            cursor: 0,
+            read_base,
+            rng: SimRng::seed_from_u64(seed),
+            since_ckpt: 0,
+        }
+    }
+}
+
+impl Workload for CkptWorkload {
+    fn name(&self) -> &'static str {
+        CKPT_LABEL
+    }
+
+    fn step(&mut self, sink: &mut dyn TraceSink) {
+        self.pmem.work(sink, CKPT_WORK);
+        for _ in 0..CKPT_CHURN {
+            let line = self.read_base + self.rng.gen_range(0..CKPT_READ_LINES);
+            self.pmem.load(sink, line);
+        }
+        self.since_ckpt += 1;
+        if self.since_ckpt == CKPT_PERIOD {
+            self.since_ckpt = 0;
+            let line = self.ring_base + self.cursor;
+            self.cursor = (self.cursor + 1) % CKPT_RING_LINES;
+            self.pmem.load(sink, line);
+            self.pmem.store_persist(sink, line);
+            self.pmem.fence(sink);
+        }
+    }
+
+    fn fork_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+}
+
+/// One fork-vs-replay sweep measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepBench {
+    /// Workload label the sweep ran.
+    pub workload: String,
+    /// Scheme label the sweep ran.
+    pub scheme: String,
+    /// Operations per sweep.
+    pub ops: u64,
+    /// Persist points in the exhaustive schedule (= crash cases run).
+    pub points: u64,
+    /// Wall-clock milliseconds for the replay-strategy sweep.
+    pub replay_ms: f64,
+    /// Wall-clock milliseconds for the fork-strategy sweep.
+    pub fork_ms: f64,
+    /// `replay_ms / fork_ms`.
+    pub speedup: f64,
+}
+
+impl SweepBench {
+    /// The measurement as the byte-stable JSON object embedded under
+    /// `"crash_sweep_fork"` in a baseline report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"workload\":{},\"scheme\":{},\"ops\":{},\"points\":{},\
+             \"replay_ms\":{},\"fork_ms\":{},\"speedup\":{}}}",
+            json_str(&self.workload),
+            json_str(&self.scheme),
+            self.ops,
+            self.points,
+            json_f64(self.replay_ms),
+            json_f64(self.fork_ms),
+            json_f64(self.speedup),
+        );
+        out
+    }
+}
+
+/// The explorer both strategies of the gated sweep run: an exhaustive
+/// single-threaded star/ckpt sweep.
+pub fn sweep_explorer(ops: usize, seed: u64) -> CrashExplorer {
+    CrashExplorer::with_workload_factory(
+        SchemeKind::Star,
+        faultsim_config(),
+        CKPT_LABEL,
+        ops,
+        Arc::new(move || Box::new(CkptWorkload::new(seed))),
+    )
+    .all_points()
+}
+
+/// Runs one exhaustive single-threaded sweep under `strategy`, returning
+/// the report and the wall-clock milliseconds it took.
+fn timed_sweep(ops: usize, seed: u64, strategy: ExploreStrategy) -> (ExploreReport, f64) {
+    let explorer = sweep_explorer(ops, seed).with_strategy(strategy);
+    let start = Instant::now();
+    let report = explorer.explore();
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    (report, elapsed_ms)
+}
+
+/// Times an exhaustive star/ckpt crash sweep under both strategies and
+/// returns the measured speedup row.
+///
+/// # Panics
+///
+/// Panics if the two strategies' reports are not byte-identical — the
+/// speedup is meaningless unless the fast path answers the same
+/// question as the oracle.
+pub fn run_sweep_bench(ops: usize, seed: u64) -> SweepBench {
+    let (fork, fork_ms) = timed_sweep(ops, seed, ExploreStrategy::Fork);
+    let (replay, replay_ms) = timed_sweep(ops, seed, ExploreStrategy::Replay);
+    assert_eq!(
+        fork.to_json(),
+        replay.to_json(),
+        "fork and replay sweeps must produce byte-identical reports"
+    );
+    let points = fork.total_points;
+    SweepBench {
+        workload: CKPT_LABEL.into(),
+        scheme: SchemeKind::Star.label().into(),
+        ops: ops as u64,
+        points,
+        replay_ms,
+        fork_ms,
+        speedup: if fork_ms > 0.0 {
+            replay_ms / fork_ms
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_mem::VecSink;
+
+    #[test]
+    fn ckpt_persists_once_per_period() {
+        let mut wl = CkptWorkload::new(1);
+        let mut sink = VecSink::new();
+        wl.run(10 * CKPT_PERIOD as usize, &mut sink);
+        assert_eq!(sink.clwb_count(), 10, "one persist per period");
+        assert!(
+            sink.read_count() >= 10 * CKPT_CHURN,
+            "churn dominates the reference stream"
+        );
+    }
+
+    #[test]
+    fn ckpt_forks_step_identically() {
+        let mut a = CkptWorkload::new(3);
+        let mut warm = VecSink::new();
+        a.run(7, &mut warm);
+        let mut b = a.fork_box();
+        let mut sa = VecSink::new();
+        let mut sb = VecSink::new();
+        a.run(2 * CKPT_PERIOD as usize, &mut sa);
+        b.run(2 * CKPT_PERIOD as usize, &mut sb);
+        assert_eq!(sa.events, sb.events, "fork and original streams agree");
+    }
+
+    #[test]
+    fn sweep_bench_measures_a_real_sweep() {
+        // Small enough to stay fast; the ≥5× gate itself runs on the
+        // full-size sweep in CI via `baseline --sweep-bench`.
+        let row = run_sweep_bench(60, 7);
+        assert_eq!(row.workload, "ckpt");
+        assert_eq!(row.scheme, "star");
+        assert!(row.points > 0, "exhaustive sweep explored points");
+        assert!(row.fork_ms > 0.0 && row.replay_ms > 0.0);
+        assert!(row.speedup > 0.0);
+        let json = row.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"speedup\":"));
+    }
+}

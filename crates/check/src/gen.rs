@@ -7,7 +7,7 @@
 //! globally monotone, so every stored value is unique and the harness
 //! can tell exactly *which* write a read or readback returned.
 
-use crate::program::{CrashPlan, Op, Program};
+use crate::program::{CrashSpec, Op, Program};
 use star_rng::SimRng;
 
 /// Tunables for the generator. The defaults match the CI fuzz-smoke
@@ -105,9 +105,9 @@ pub fn generate(seed: u64, case: u64, cfg: &GenConfig) -> Program {
     // 1 in 8 programs skips the mid-run crash and only exercises the
     // pure differential final-state comparison.
     let crash = if rng.gen_bool(0.125) {
-        CrashPlan::None
+        CrashSpec::None
     } else {
-        CrashPlan::Frac(rng.gen_range_inclusive(0..=1000) as u32)
+        CrashSpec::Frac(rng.gen_range_inclusive(0..=1000) as u32)
     };
 
     let mut program = Program::new(ops);
@@ -174,8 +174,8 @@ mod tests {
     #[test]
     fn both_crash_plans_appear() {
         let cfg = GenConfig::default();
-        let plans: Vec<CrashPlan> = (0..64).map(|c| generate(7, c, &cfg).crash).collect();
-        assert!(plans.iter().any(|p| matches!(p, CrashPlan::None)));
-        assert!(plans.iter().any(|p| matches!(p, CrashPlan::Frac(_))));
+        let plans: Vec<CrashSpec> = (0..64).map(|c| generate(7, c, &cfg).crash).collect();
+        assert!(plans.iter().any(|p| matches!(p, CrashSpec::None)));
+        assert!(plans.iter().any(|p| matches!(p, CrashSpec::Frac(_))));
     }
 }

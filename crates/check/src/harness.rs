@@ -11,27 +11,29 @@
 //!    every written line must equal its `DataLineCommit` count in the
 //!    log *and* sit inside the model's `[commits, writes]` bounds, and
 //!    STAR's bitmap walk must cover exactly the ground-truth stale set.
-//! 3. **Mid-run crash** (when the program has a crash plan) — the run is
-//!    replayed with a crash armed at a persist point chosen from the
-//!    program's own schedule; after recovery every line the log oracle
-//!    calls committed must read back its exact committed version, which
-//!    in turn must be admissible under the model. A wrong value that
+//! 3. **Mid-run crash** (when the program has a crash plan) — the
+//!    machine is forked at a persist point chosen from the program's own
+//!    schedule (via the shared `star_faultsim::CrashExplorer` capture
+//!    machinery, byte-identical to a from-scratch replay with a crash
+//!    armed there); after recovery every line the log oracle calls
+//!    committed must read back its exact committed version, which in
+//!    turn must be admissible under the model. A wrong value that
 //!    verifies is silent corruption — the headline failure.
 //!
 //! Triad is checked on the same program through its own write-through
 //! API: recovery must verify and its provenance totals must balance.
 
 use crate::model::RefModel;
-use crate::program::{CrashPlan, Op, Program};
-use star_core::persist::{CrashRequested, PersistPoint, PersistPointKind};
+use crate::program::{CrashSpec, Op, Program, ProgramWorkload};
+use star_core::persist::{PersistPoint, PersistPointKind};
 use star_core::triad::{TriadConfig, TriadMemory};
-use star_core::{recover, RecoveryError, SchemeKind, SecureMemory};
+use star_core::{recover, Instrumented, RecoveryError, SchemeKind, SecureMemory};
 use star_faultsim::case::committed_versions;
-use star_faultsim::{catch_quiet, install_panic_filter};
+use star_faultsim::{catch_quiet, install_panic_filter, CrashExplorer, ForkPoint};
 use star_metadata::Node64;
 use star_nvm::AccessClass;
 use std::collections::BTreeMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// One invariant violation found by the harness.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -338,24 +340,39 @@ fn check_scheme_inner(program: &Program, scheme: SchemeKind) -> (Vec<Violation>,
 }
 
 /// Maps a crash plan onto a persist schedule of `points` points.
-fn resolve_crash_seq(crash: CrashPlan, points: u64) -> Option<u64> {
+fn resolve_crash_seq(crash: CrashSpec, points: u64) -> Option<u64> {
     if points == 0 {
         return None;
     }
     match crash {
-        CrashPlan::None => None,
-        CrashPlan::Frac(frac) => Some(1 + (u64::from(frac.min(1000)) * (points - 1)) / 1000),
-        CrashPlan::At(seq) => Some(seq.clamp(1, points)),
+        CrashSpec::None => None,
+        CrashSpec::Frac(frac) => Some(1 + (u64::from(frac.min(1000)) * (points - 1)) / 1000),
+        CrashSpec::At(seq) => Some(seq.clamp(1, points)),
     }
 }
 
-/// Replays `program` with a crash armed at persist point `seq`, recovers
-/// and checks the post-crash state. Returns the violations found.
+/// Crashes `program` at persist point `seq` (forking the machine there
+/// via the shared crash machinery), recovers and checks the post-crash
+/// state. Returns the violations found.
 pub fn check_crash_at(program: &Program, scheme: SchemeKind, seq: u64) -> Vec<Violation> {
     match crash_at_inner(program, scheme, seq) {
         CrashVerdict::Violations(v) => v,
         CrashVerdict::Ok | CrashVerdict::Detected => Vec::new(),
     }
+}
+
+/// The shared crash machinery, configured to drive `program` under
+/// `scheme` exactly as the harness's own replay loop would (see
+/// [`ProgramWorkload`]: op-to-event driving is a bijection).
+fn crash_explorer(program: &Program, scheme: SchemeKind) -> CrashExplorer {
+    let workload = ProgramWorkload::new(program);
+    CrashExplorer::with_workload_factory(
+        scheme,
+        program.config(),
+        "program",
+        program.ops.len(),
+        Arc::new(move || Box::new(workload.clone())),
+    )
 }
 
 /// How a single crash-at-`seq` probe ended.
@@ -373,54 +390,52 @@ fn crash_at_inner(program: &Program, scheme: SchemeKind, seq: u64) -> CrashVerdi
     install_panic_filter();
     let label = scheme.label();
     let mut v = Vec::new();
-    let cfg = program.config();
-    let mut engine = SecureMemory::new(scheme, cfg.clone());
-    engine.enable_persist_log();
-    engine.arm_crash_at(seq);
-
-    let mut model = RefModel::new();
-    let run = catch_unwind(AssertUnwindSafe(|| {
-        for op in &program.ops {
-            match *op {
-                Op::Write { line, version } => engine.write_data(line, version),
-                Op::Persist { line } => engine.persist_data(line),
-                Op::Read { line } => {
-                    engine.read_data(line);
-                }
-                Op::Fence => engine.fence(),
-                Op::Work { count } => engine.work(count),
-            }
-            model.apply(op);
-        }
-    }));
-    let crash: CrashRequested = match run {
-        Ok(()) => {
+    let explorer = crash_explorer(program, scheme);
+    let (schedule, forks) = match catch_quiet(|| explorer.capture(&[seq])) {
+        Ok(pair) => pair,
+        Err(_) => {
             v.push(Violation::new(
                 label,
-                "crash-not-reached",
-                format!(
-                    "crash armed at point {seq} but the replay committed only {}",
-                    engine.persist_points()
-                ),
+                "unexpected-panic",
+                format!("pre-crash replay panicked at point {seq} without a crash request"),
             ));
             return CrashVerdict::Violations(v);
         }
-        Err(payload) => match payload.downcast::<CrashRequested>() {
-            Ok(crash) => *crash,
-            Err(_) => {
-                v.push(Violation::new(
-                    label,
-                    "unexpected-panic",
-                    format!("pre-crash replay panicked at point {seq} without a crash request"),
-                ));
-                return CrashVerdict::Violations(v);
-            }
-        },
     };
-    engine.disarm_crash();
+    let Some(point) = forks.into_iter().next() else {
+        v.push(Violation::new(
+            label,
+            "crash-not-reached",
+            format!(
+                "crash armed at point {seq} but the replay committed only {}",
+                schedule.len()
+            ),
+        ));
+        return CrashVerdict::Violations(v);
+    };
+    verdict_from_fork(program, scheme, point)
+}
 
-    let schedule: Vec<PersistPoint> = engine.persist_log().to_vec();
-    let committed = committed_versions(&schedule, crash.seq);
+/// Adjudicates one seized crash point against the model and the readback
+/// oracle — the post-crash half of the old replay loop, now fed by
+/// [`CrashExplorer::capture`] so N probes cost one execution, not N.
+fn verdict_from_fork(program: &Program, scheme: SchemeKind, point: ForkPoint) -> CrashVerdict {
+    let label = scheme.label();
+    let seq = point.crash.seq;
+    let mut v = Vec::new();
+
+    // The model state at the crash: every op that completed before the
+    // one whose persist point the crash landed on (exactly what the
+    // replay loop had applied when the panic fired).
+    let completed = point
+        .ops_completed
+        .expect("capture() stamps ops_completed on every fork");
+    let mut model = RefModel::new();
+    for op in &program.ops[..completed] {
+        model.apply(op);
+    }
+
+    let committed = point.committed;
     for (&line, &version) in &committed {
         if !model.durable_value_allowed(line, version) {
             v.push(Violation::new(
@@ -435,8 +450,8 @@ fn crash_at_inner(program: &Program, scheme: SchemeKind, seq: u64) -> CrashVerdi
         }
     }
 
-    let mut image = engine.crash();
-    let ground_stale = image.stale_node_count();
+    let mut image = point.image;
+    let ground_stale = point.stale_count;
     match recover(&mut image) {
         Err(RecoveryError::NotRecoverable(_)) => {
             if scheme.recoverable() {
@@ -491,7 +506,7 @@ fn crash_at_inner(program: &Program, scheme: SchemeKind, seq: u64) -> CrashVerdi
                         ),
                     ));
                 }
-                let mut resumed = SecureMemory::resume_from_image(&image, cfg);
+                let mut resumed = SecureMemory::resume_from_image(&image, program.config());
                 for (&line, &want) in &committed {
                     match catch_quiet(|| resumed.read_data(line)) {
                         Err(_) => {
@@ -537,6 +552,11 @@ fn crash_at_inner(program: &Program, scheme: SchemeKind, seq: u64) -> CrashVerdi
 /// recovery silently corrupts data under `scheme`. Returns the first
 /// such `(sequence number, detail)`. Schedules longer than `cap` are
 /// sampled with an even stride (first and last point always probed).
+///
+/// All probe points are seized from **one** execution
+/// ([`CrashExplorer::capture`]); only crash, recovery and readback run
+/// per probe, so a scan costs O(ops + probes · recovery) instead of
+/// O(ops · probes).
 pub fn find_silent_crash(
     program: &Program,
     scheme: SchemeKind,
@@ -547,17 +567,45 @@ pub fn find_silent_crash(
         return None;
     }
     let stride = (points as usize).div_ceil(cap.max(1)).max(1) as u64;
+    let mut probes = Vec::new();
     let mut seq = 1;
     while seq <= points {
-        if let CrashVerdict::Violations(v) = crash_at_inner(program, scheme, seq) {
-            if let Some(hit) = v.iter().find(|v| v.invariant == "silent-corruption") {
-                return Some((seq, hit.detail.clone()));
-            }
-        }
+        probes.push(seq);
         if seq == points {
             break;
         }
         seq = (seq + stride).min(points);
+    }
+    let silent_hit = |v: &[Violation]| {
+        v.iter()
+            .find(|v| v.invariant == "silent-corruption")
+            .map(|hit| hit.detail.clone())
+    };
+    let explorer = crash_explorer(program, scheme);
+    match catch_quiet(|| explorer.capture(&probes)) {
+        Ok((_, forks)) => {
+            for point in forks {
+                let seq = point.crash.seq;
+                if let CrashVerdict::Violations(v) = verdict_from_fork(program, scheme, point) {
+                    if let Some(detail) = silent_hit(&v) {
+                        return Some((seq, detail));
+                    }
+                }
+            }
+        }
+        // A mid-run panic voids the shared capture (a probe after the
+        // panicking op can never fire anyway); fall back to independent
+        // per-point probes like the replay-based scan, so the points
+        // before the panic still get checked.
+        Err(_) => {
+            for &seq in &probes {
+                if let CrashVerdict::Violations(v) = crash_at_inner(program, scheme, seq) {
+                    if let Some(detail) = silent_hit(&v) {
+                        return Some((seq, detail));
+                    }
+                }
+            }
+        }
     }
     None
 }
@@ -659,20 +707,20 @@ mod tests {
         }
         let mut p = Program::new(ops);
         p.counter_lsb_bits = 2;
-        p.crash = CrashPlan::Frac(900);
+        p.crash = CrashSpec::Frac(900);
         let violations = check_program(&p);
         assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]
     fn crash_seq_resolution_is_clamped_and_ordered() {
-        assert_eq!(resolve_crash_seq(CrashPlan::None, 10), None);
-        assert_eq!(resolve_crash_seq(CrashPlan::Frac(0), 10), Some(1));
-        assert_eq!(resolve_crash_seq(CrashPlan::Frac(1000), 10), Some(10));
-        assert_eq!(resolve_crash_seq(CrashPlan::Frac(500), 1), Some(1));
-        assert_eq!(resolve_crash_seq(CrashPlan::At(99), 10), Some(10));
-        assert_eq!(resolve_crash_seq(CrashPlan::At(3), 10), Some(3));
-        assert_eq!(resolve_crash_seq(CrashPlan::Frac(500), 0), None);
+        assert_eq!(resolve_crash_seq(CrashSpec::None, 10), None);
+        assert_eq!(resolve_crash_seq(CrashSpec::Frac(0), 10), Some(1));
+        assert_eq!(resolve_crash_seq(CrashSpec::Frac(1000), 10), Some(10));
+        assert_eq!(resolve_crash_seq(CrashSpec::Frac(500), 1), Some(1));
+        assert_eq!(resolve_crash_seq(CrashSpec::At(99), 10), Some(10));
+        assert_eq!(resolve_crash_seq(CrashSpec::At(3), 10), Some(3));
+        assert_eq!(resolve_crash_seq(CrashSpec::Frac(500), 0), None);
     }
 
     #[test]

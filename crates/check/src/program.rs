@@ -10,7 +10,9 @@ use star_core::report::{json_str, schema_preamble};
 use star_core::{SecureMemConfig, SecureMemConfigBuilder};
 use star_mem::{MemEvent, TraceSink};
 use star_prof::JsonValue;
+use star_workloads::Workload;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// One operation of a check program — the same vocabulary as
 /// [`star_mem::MemEvent`], with write versions made explicit so a
@@ -43,6 +45,21 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// The [`MemEvent`] this op drives into an engine — the inverse of
+    /// [`ProgramRecorder`]'s mapping, so record-then-drive is the
+    /// identity on reference streams.
+    pub fn to_event(self) -> MemEvent {
+        match self {
+            Op::Write { line, version } => MemEvent::Write { line, version },
+            Op::Persist { line } => MemEvent::Clwb { line },
+            Op::Read { line } => MemEvent::Read { line },
+            Op::Fence => MemEvent::Fence,
+            Op::Work { count } => MemEvent::Work { count },
+        }
+    }
+}
+
 impl core::fmt::Display for Op {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
@@ -56,8 +73,13 @@ impl core::fmt::Display for Op {
 }
 
 /// Where (and whether) the differential harness injects a crash.
+///
+/// This is the *program-level* crash specification — schedule-relative
+/// (`Frac`) so it survives shrinking. It resolves to a concrete
+/// engine-side [`star_core::CrashPlan`] once the program's persist
+/// schedule is known.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CrashPlan {
+pub enum CrashSpec {
     /// No mid-run crash; only the end-of-run crash/recover check runs.
     None,
     /// Crash at persist point `1 + frac * (points - 1) / 1000` of the
@@ -69,6 +91,12 @@ pub enum CrashPlan {
     /// point).
     At(u64),
 }
+
+/// Renamed: the engine-side typed plan is now
+/// [`star_core::CrashPlan`]; the program-level specification is
+/// [`CrashSpec`].
+#[deprecated(since = "0.7.0", note = "renamed to `CrashSpec`")]
+pub type CrashPlan = CrashSpec;
 
 /// A self-contained check program: geometry, operations, crash plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,7 +114,7 @@ pub struct Program {
     /// The operation sequence.
     pub ops: Vec<Op>,
     /// Mid-run crash plan.
-    pub crash: CrashPlan,
+    pub crash: CrashSpec,
 }
 
 impl Program {
@@ -101,12 +129,12 @@ impl Program {
             adr_bitmap_lines: cfg.adr_bitmap_lines,
             counter_lsb_bits: cfg.counter_lsb_bits,
             ops,
-            crash: CrashPlan::None,
+            crash: CrashSpec::None,
         }
     }
 
     /// A program whose geometry fields are copied from `cfg`.
-    pub fn with_config(cfg: &SecureMemConfig, ops: Vec<Op>, crash: CrashPlan) -> Self {
+    pub fn with_config(cfg: &SecureMemConfig, ops: Vec<Op>, crash: CrashSpec) -> Self {
         Self {
             data_lines: cfg.data_lines,
             metadata_cache_bytes: cfg.metadata_cache_bytes,
@@ -153,9 +181,9 @@ impl Program {
     /// A one-line human summary (`34 ops (18 writes), crash frac 312`).
     pub fn summary(&self) -> String {
         let crash = match self.crash {
-            CrashPlan::None => "no mid-run crash".to_string(),
-            CrashPlan::Frac(f) => format!("crash frac {f}/1000"),
-            CrashPlan::At(seq) => format!("crash at persist point {seq}"),
+            CrashSpec::None => "no mid-run crash".to_string(),
+            CrashSpec::Frac(f) => format!("crash frac {f}/1000"),
+            CrashSpec::At(seq) => format!("crash at persist point {seq}"),
         };
         format!(
             "{} ops ({} writes), {} data lines, lsb_bits {}, {}",
@@ -184,11 +212,11 @@ impl Program {
             self.counter_lsb_bits
         );
         match self.crash {
-            CrashPlan::None => out.push_str("\"crash\":null,"),
-            CrashPlan::Frac(f) => {
+            CrashSpec::None => out.push_str("\"crash\":null,"),
+            CrashSpec::Frac(f) => {
                 let _ = write!(out, "\"crash\":{{\"frac\":{f}}},");
             }
-            CrashPlan::At(seq) => {
+            CrashSpec::At(seq) => {
                 let _ = write!(out, "\"crash\":{{\"at\":{seq}}},");
             }
         }
@@ -237,12 +265,12 @@ impl Program {
                 .ok_or_else(|| format!("missing numeric field \"{key}\""))
         };
         let crash = match doc.get("crash") {
-            None | Some(JsonValue::Null) => CrashPlan::None,
+            None | Some(JsonValue::Null) => CrashSpec::None,
             Some(v) => {
                 if let Some(f) = v.get("frac").and_then(|f| f.as_u64()) {
-                    CrashPlan::Frac(f as u32)
+                    CrashSpec::Frac(f as u32)
                 } else if let Some(seq) = v.get("at").and_then(|s| s.as_u64()) {
-                    CrashPlan::At(seq)
+                    CrashSpec::At(seq)
                 } else {
                     return Err("crash plan must be null, {\"frac\":N} or {\"at\":N}".into());
                 }
@@ -308,7 +336,7 @@ impl ProgramRecorder {
 
     /// Consumes the recorder, yielding a [`Program`] over `cfg` with
     /// crash plan `crash`.
-    pub fn into_program(self, cfg: &SecureMemConfig, crash: CrashPlan) -> Program {
+    pub fn into_program(self, cfg: &SecureMemConfig, crash: CrashSpec) -> Program {
         Program::with_config(cfg, self.ops, crash)
     }
 }
@@ -322,6 +350,50 @@ impl TraceSink for ProgramRecorder {
             MemEvent::Fence => Op::Fence,
             MemEvent::Work { count } => Op::Work { count },
         });
+    }
+}
+
+/// The inverse adapter: a [`Workload`] that drives a recorded
+/// [`Program`] through any [`TraceSink`], one op per step.
+///
+/// The engine's typed entry points (`write_data`, `persist_data`, …) are
+/// thin wrappers over its `TraceSink::on_event`, and [`Op`] ↔
+/// [`MemEvent`] is a bijection, so driving a program this way is
+/// event-for-event identical to the harness's own replay loop. This is
+/// what lets the checker hand its programs to the shared crash machinery
+/// ([`star_faultsim::CrashExplorer`]) and fork at persist points instead
+/// of replaying the whole program per crash case.
+#[derive(Debug, Clone)]
+pub struct ProgramWorkload {
+    ops: Arc<[Op]>,
+    cursor: usize,
+}
+
+impl ProgramWorkload {
+    /// A workload over `program`'s ops, positioned at the start. The op
+    /// list is shared (`Arc`), so forking is O(1).
+    pub fn new(program: &Program) -> Self {
+        Self {
+            ops: program.ops.iter().copied().collect(),
+            cursor: 0,
+        }
+    }
+}
+
+impl Workload for ProgramWorkload {
+    fn name(&self) -> &'static str {
+        "program"
+    }
+
+    fn step(&mut self, sink: &mut dyn TraceSink) {
+        if let Some(&op) = self.ops.get(self.cursor) {
+            self.cursor += 1;
+            sink.on_event(op.to_event());
+        }
+    }
+
+    fn fork_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 }
 
@@ -340,7 +412,7 @@ mod tests {
             Op::Read { line: 3 },
             Op::Work { count: 120 },
         ]);
-        p.crash = CrashPlan::Frac(512);
+        p.crash = CrashSpec::Frac(512);
         p
     }
 
@@ -356,7 +428,7 @@ mod tests {
 
     #[test]
     fn crash_plan_variants_roundtrip() {
-        for crash in [CrashPlan::None, CrashPlan::Frac(0), CrashPlan::At(17)] {
+        for crash in [CrashSpec::None, CrashSpec::Frac(0), CrashSpec::At(17)] {
             let mut p = sample();
             p.crash = crash;
             assert_eq!(Program::from_json(&p.to_json()).unwrap().crash, crash);
@@ -390,8 +462,8 @@ mod tests {
         rec.on_event(MemEvent::Fence);
         rec.on_event(MemEvent::Read { line: 1 });
         rec.on_event(MemEvent::Work { count: 5 });
-        let p = rec.into_program(&SecureMemConfig::small(), CrashPlan::At(3));
+        let p = rec.into_program(&SecureMemConfig::small(), CrashSpec::At(3));
         assert_eq!(p.ops.len(), 5);
-        assert_eq!(p.crash, CrashPlan::At(3));
+        assert_eq!(p.crash, CrashSpec::At(3));
     }
 }

@@ -109,9 +109,9 @@ mod tests {
     fn geometry_and_crash_plan_survive() {
         let mut p = program_of(&[7, 7, 1, 2, 3]);
         p.counter_lsb_bits = 3;
-        p.crash = crate::program::CrashPlan::Frac(250);
+        p.crash = crate::program::CrashSpec::Frac(250);
         let small = shrink_ops(&p, failing);
         assert_eq!(small.counter_lsb_bits, 3);
-        assert_eq!(small.crash, crate::program::CrashPlan::Frac(250));
+        assert_eq!(small.crash, crate::program::CrashSpec::Frac(250));
     }
 }

@@ -25,7 +25,7 @@
 
 use crate::anubis::{StEntry, StSlotMap};
 use crate::config::{ConfigError, SchemeKind, SecureMemConfig};
-use crate::persist::{CrashRequested, PersistPoint, PersistPointKind};
+use crate::persist::{CrashPlan, CrashRequested, FaultKind, PersistPoint, PersistPointKind};
 use crate::recovery::CrashImage;
 use crate::star::bitmap::{BitmapLayout, BitmapStats, MultiLayerBitmap};
 use crate::star::cache_tree;
@@ -100,7 +100,7 @@ pub struct SecureMemory {
     /// default, so the timing model and figures are unaffected.
     persist_seq: u64,
     persist_log: Option<Vec<PersistPoint>>,
-    crash_at: Option<u64>,
+    crash_plan: Option<CrashPlan>,
     /// Structured event recorder for the engine's own events (persist
     /// points, metadata-cache traffic). The device and the CPU hierarchy
     /// carry their own recorders; [`SecureMemory::enable_trace`] turns
@@ -161,7 +161,7 @@ impl SecureMemory {
             ops_buf: Vec::new(),
             persist_seq: 0,
             persist_log: None,
-            crash_at: None,
+            crash_plan: None,
             trace: TraceRecorder::off(),
             cfg,
         })
@@ -315,17 +315,36 @@ impl SecureMemory {
         self.persist_seq
     }
 
-    /// Arms a crash at persist point `seq` (1-based): reaching it raises a
-    /// [`crate::persist::CrashRequested`] panic that a
-    /// fault driver catches with `catch_unwind` before calling
+    /// Arms a typed [`CrashPlan`]: reaching persist point `plan.at`
+    /// raises a [`crate::persist::CrashRequested`] panic that a fault
+    /// driver catches with `catch_unwind` before calling
     /// [`SecureMemory::crash`] on the engine it kept outside the closure.
-    pub fn arm_crash_at(&mut self, seq: u64) {
-        self.crash_at = Some(seq);
+    /// The plan's optional [`FaultKind`] travels with the engine and can
+    /// be read back via [`SecureMemory::armed_plan`], so drivers no
+    /// longer carry the fault through a side channel.
+    pub fn arm(&mut self, plan: CrashPlan) {
+        self.crash_plan = Some(plan);
     }
 
-    /// Disarms a previously armed crash point.
+    /// Arms a clean crash at persist point `seq` (1-based).
+    #[deprecated(since = "0.7.0", note = "use `arm(CrashPlan::at(seq))` instead")]
+    pub fn arm_crash_at(&mut self, seq: u64) {
+        self.arm(CrashPlan::at(seq));
+    }
+
+    /// The currently armed crash plan, if any.
+    pub fn armed_plan(&self) -> Option<CrashPlan> {
+        self.crash_plan
+    }
+
+    /// The medium fault of the armed crash plan, if any.
+    pub fn armed_fault(&self) -> Option<FaultKind> {
+        self.crash_plan.and_then(|p| p.fault)
+    }
+
+    /// Disarms a previously armed crash plan.
     pub fn disarm_crash(&mut self) {
-        self.crash_at = None;
+        self.crash_plan = None;
     }
 
     /// Enables the device-level write journal (pre-images + queue
@@ -343,6 +362,21 @@ impl SecureMemory {
     /// journal's retirement times are measured against).
     pub fn now_ps(&self) -> u64 {
         self.now()
+    }
+
+    /// Returns an independent copy-on-write fork of the whole machine —
+    /// NVM contents, caches, metadata state, bitmap/shadow-table state,
+    /// clocks, journal and persist instrumentation.
+    ///
+    /// The NVM line store is frozen and structurally shared with the
+    /// fork (see [`star_nvm::LineStore::fork`]), so the cost is
+    /// `O(dirty-delta)` line copies plus the engine's small bounded
+    /// volatile state, not `O(footprint)`. Crash-schedule exploration
+    /// leans on this: execute a workload once, fork at each persist
+    /// point, and run only crash + recovery + oracle per case.
+    pub fn fork(&mut self) -> Self {
+        self.nvm.store_mut().freeze();
+        self.clone()
     }
 
     // ------------------------------------------------------------------
@@ -472,7 +506,7 @@ impl SecureMemory {
                 kind,
             });
         }
-        if self.crash_at == Some(self.persist_seq) {
+        if self.crash_plan.map(|p| p.at) == Some(self.persist_seq) {
             std::panic::panic_any(CrashRequested {
                 seq: self.persist_seq,
                 kind,
@@ -1124,6 +1158,20 @@ impl SecureMemory {
     }
 }
 
+impl crate::stats::Instrumented for SecureMemory {
+    fn now_ps(&self) -> u64 {
+        self.now()
+    }
+
+    fn wear_summary(&self) -> star_nvm::WearSummary {
+        self.nvm.wear().summary()
+    }
+
+    fn prof_summary(&self) -> star_nvm::ProfSummary {
+        self.nvm.prof_summary()
+    }
+}
+
 // The parallel sweep runner (star-sweep) moves whole engines and crash
 // images across worker threads; keep that property checked at compile
 // time. `Sync` is *not* required — each job owns its engine outright.
@@ -1332,5 +1380,59 @@ mod tests {
         let max = m.config().data_lines;
         m.write_data(max, 1);
         m.persist_data(max);
+    }
+
+    #[test]
+    fn fork_cost_is_dirty_delta_not_footprint() {
+        let mut m = engine(SchemeKind::Star);
+        for i in 0..200u64 {
+            m.write_data(i % 64, i + 1);
+            m.persist_data(i % 64);
+        }
+        m.fence();
+        let footprint = m.nvm.store().footprint_lines();
+        assert!(footprint >= 64, "at least the 64 persisted data lines");
+
+        // First fork: the whole footprint freezes into layers shared by
+        // reference with the fork — nothing is copied line-by-line.
+        let fork1 = m.fork();
+        assert_eq!(m.nvm.store().delta_lines(), 0);
+        assert_eq!(fork1.nvm.store().delta_lines(), 0);
+        assert_eq!(
+            fork1.nvm.store().shared_lines_with(m.nvm.store()),
+            footprint
+        );
+
+        // Dirty a handful of lines and fork again: the new frozen layer
+        // holds only the dirty delta, and everything untouched is still
+        // the *same* allocation the first fork sees.
+        for i in 0..4u64 {
+            m.write_data(i, 1_000 + i);
+            m.persist_data(i);
+        }
+        m.fence();
+        let delta = m.nvm.store().delta_lines();
+        assert!(
+            delta > 0 && delta < footprint / 4,
+            "delta {delta} should be far below footprint {footprint}"
+        );
+        let fork2 = m.fork();
+        assert_eq!(
+            fork2.nvm.store().shared_lines_with(fork1.nvm.store()),
+            footprint,
+            "untouched lines stay shared across generations"
+        );
+        assert!(
+            fork2.nvm.store().shared_lines_with(m.nvm.store()) >= footprint + delta,
+            "the second freeze shares the delta layer too"
+        );
+
+        // Forks are independent machines: divergent writes stay private.
+        let mut fork3 = m.fork();
+        fork3.write_data(7, 777);
+        fork3.persist_data(7);
+        fork3.fence();
+        assert_eq!(fork3.read_data(7), 777);
+        assert_eq!(m.read_data(7), 200, "parent keeps its pre-fork value");
     }
 }

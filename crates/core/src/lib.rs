@@ -50,10 +50,11 @@ pub mod triad;
 
 pub use config::{ConfigError, SchemeKind, SecureMemConfig, SecureMemConfigBuilder};
 pub use engine::SecureMemory;
-pub use persist::{CrashRequested, PersistPoint, PersistPointKind};
+pub use persist::{CrashPlan, CrashRequested, FaultKind, PersistPoint, PersistPointKind};
 pub use recovery::{
     recover, recover_traced, Attack, CrashImage, DowntimeLedger, DowntimeSpan, RecoveryError,
     RecoveryReport, NS_PER_LINE_ACCESS,
 };
 pub use report::SCHEMA_VERSION;
+pub use stats::Instrumented;
 pub use stats::RunReport;

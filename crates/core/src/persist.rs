@@ -82,3 +82,101 @@ pub struct CrashRequested {
     /// The transition that committed at that point.
     pub kind: PersistPointKind,
 }
+
+/// The fault injected together with a crash — what the failure does to
+/// the medium beyond losing volatile state.
+///
+/// This is pure data: the engine carries it (inside a [`CrashPlan`]) but
+/// never interprets it. `star-faultsim` applies it to the
+/// [`CrashImage`](crate::recovery::CrashImage) *after* the ADR battery
+/// flush, i.e. to what physically remains in NVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A clean power failure under the paper's fault model: the ADR
+    /// domain (write-pending queue + bitmap lines) is flushed, nothing
+    /// else is damaged. Every recoverable scheme must turn every such
+    /// case into a recovered state or at worst a *detected* loss
+    /// (Strict mid-chain).
+    CrashOnly,
+    /// Platform **without** ADR: up to `max_entries` of the newest writes
+    /// still occupying write-queue slots at crash time are lost (their
+    /// pre-images reappear). This deliberately violates the assumption
+    /// STAR builds on; losing a *consistent suffix* of writes rolls the
+    /// world back undetectably, so silent-corruption outcomes here
+    /// demonstrate why ADR is load-bearing rather than indicating a
+    /// scheme bug.
+    DropWpq {
+        /// Maximum undrained entries to drop (newest first).
+        max_entries: usize,
+    },
+    /// The most recent in-flight write tears: the first 32 bytes of the
+    /// new content land, the last 32 bytes (which hold the MAC field)
+    /// keep their pre-image. Must never be silent.
+    TornWrite,
+    /// Flip bit `bit % 64` of the stored MAC field of the most recently
+    /// committed data line — straight tampering; must be detected.
+    FlipMacBit {
+        /// Which MAC-field bit to flip.
+        bit: u32,
+    },
+    /// Flip bit `bit % 448` in the stored counter block covering the most
+    /// recently committed data line (its parent node's NVM copy) — the
+    /// counters recovery consumes; must be detected.
+    FlipCounterBit {
+        /// Which counter-region bit to flip.
+        bit: u32,
+    },
+}
+
+impl FaultKind {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::CrashOnly => "crash-only",
+            FaultKind::DropWpq { .. } => "drop-wpq",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::FlipMacBit { .. } => "flip-mac-bit",
+            FaultKind::FlipCounterBit { .. } => "flip-counter-bit",
+        }
+    }
+}
+
+impl core::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed crash plan: *where* to crash (a persist-point sequence
+/// number, 1-based) and optionally *what else* the failure does to the
+/// medium at that moment.
+///
+/// Replaces the raw `arm_crash_at(u64)` call: the plan travels as one
+/// value through [`SecureMemory::arm`](crate::SecureMemory::arm) and
+/// [`TriadMemory::arm`](crate::triad::TriadMemory::arm), and fault
+/// drivers read the armed fault back from the caught engine instead of
+/// carrying it through a side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The persist-point sequence number (1-based) to crash at.
+    pub at: u64,
+    /// The medium fault injected with the crash, if any (`None` means a
+    /// clean ADR-protected power failure).
+    pub fault: Option<FaultKind>,
+}
+
+impl CrashPlan {
+    /// A clean crash at persist point `seq` with no medium fault.
+    pub fn at(seq: u64) -> Self {
+        Self {
+            at: seq,
+            fault: None,
+        }
+    }
+
+    /// Attaches a medium fault to the plan.
+    pub fn with_fault(mut self, fault: FaultKind) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}

@@ -18,6 +18,8 @@
 //! the *memory* size, not the dirty set, which is exactly the scaling the
 //! paper's Fig. 14 argument holds against it.
 
+use crate::persist::{CrashPlan, CrashRequested, PersistPointKind};
+use crate::stats::Instrumented;
 use star_metadata::bmt::BonsaiMerkleTree;
 use star_metadata::{MacField, Node64, SitMac, TREE_ARITY};
 use star_nvm::{AccessClass, Line, LineAddr, NvmConfig, NvmDevice, WriteCause, PS_PER_NS};
@@ -66,6 +68,10 @@ pub struct TriadMemory {
     /// Line index where persisted tree levels start.
     tree_base: u64,
     now_ps: u64,
+    /// Persist points committed so far (one per durable write-through).
+    persist_seq: u64,
+    /// Armed crash plan, if any (see [`TriadMemory::arm`]).
+    crash_plan: Option<CrashPlan>,
 }
 
 impl TriadMemory {
@@ -91,6 +97,8 @@ impl TriadMemory {
             tree,
             cfg,
             now_ps: 0,
+            persist_seq: 0,
+            crash_plan: None,
         }
     }
 
@@ -109,20 +117,23 @@ impl TriadMemory {
         self.nvm.stats()
     }
 
-    /// The controller clock, ps (advances with modeled NVM accesses).
-    pub fn now_ps(&self) -> u64 {
-        self.now_ps
+    /// Arms a typed [`CrashPlan`], exactly as
+    /// [`SecureMemory::arm`](crate::SecureMemory::arm) does: Triad's
+    /// persist points are its write-throughs — one per
+    /// [`write_data`](Self::write_data) — and reaching point `plan.at`
+    /// raises a [`CrashRequested`] panic for a `catch_unwind` driver.
+    pub fn arm(&mut self, plan: CrashPlan) {
+        self.crash_plan = Some(plan);
     }
 
-    /// Per-line wear summary of the whole device.
-    pub fn wear_summary(&self) -> star_nvm::WearSummary {
-        self.nvm.wear().summary()
+    /// Disarms a previously armed crash plan.
+    pub fn disarm_crash(&mut self) {
+        self.crash_plan = None;
     }
 
-    /// Write-provenance summary: data vs counter-block vs per-level BMT
-    /// write-through traffic (the 2–4× amplification, attributed).
-    pub fn prof_summary(&self) -> star_nvm::ProfSummary {
-        self.nvm.prof_summary()
+    /// Persist points (durable write-throughs) committed so far.
+    pub fn persist_points(&self) -> u64 {
+        self.persist_seq
     }
 
     /// Writes (and persists) `version` into data line `line`.
@@ -177,6 +188,16 @@ impl TriadMemory {
             );
             level_base += self.level_count(_level);
             index /= TREE_ARITY as u64;
+        }
+
+        // One write-through transaction committed: the only instant a
+        // power failure can observe under Triad's write-through model.
+        self.persist_seq += 1;
+        if self.crash_plan.map(|p| p.at) == Some(self.persist_seq) {
+            std::panic::panic_any(CrashRequested {
+                seq: self.persist_seq,
+                kind: PersistPointKind::DataLineCommit { line, version },
+            });
         }
     }
 
@@ -295,6 +316,24 @@ impl TriadMemory {
         let mut line = self.nvm.store().read(addr);
         line.as_bytes_mut()[0] ^= 0xff;
         self.nvm.store_mut().write(addr, line);
+    }
+}
+
+impl Instrumented for TriadMemory {
+    /// The controller clock, ps (advances with modeled NVM accesses).
+    fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    /// Per-line wear summary of the whole device.
+    fn wear_summary(&self) -> star_nvm::WearSummary {
+        self.nvm.wear().summary()
+    }
+
+    /// Write-provenance summary: data vs counter-block vs per-level BMT
+    /// write-through traffic (the 2–4× amplification, attributed).
+    fn prof_summary(&self) -> star_nvm::ProfSummary {
+        self.nvm.prof_summary()
     }
 }
 
@@ -423,5 +462,32 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn oob_write_panics() {
         small().write_data(4_096, 1);
+    }
+
+    #[test]
+    fn armed_crash_plan_fires_at_the_requested_write_through() {
+        let mut m = small();
+        m.arm(CrashPlan::at(3));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for i in 0..10u64 {
+                m.write_data(i, i + 1);
+            }
+        }))
+        .expect_err("armed plan must fire");
+        let crash = err
+            .downcast_ref::<CrashRequested>()
+            .expect("typed crash payload");
+        assert_eq!(crash.seq, 3);
+        assert!(matches!(
+            crash.kind,
+            PersistPointKind::DataLineCommit {
+                line: 2,
+                version: 3
+            }
+        ));
+        m.disarm_crash();
+        assert_eq!(m.persist_points(), 3);
+        // The machine is still coherent: recovery verifies.
+        assert!(m.crash_and_recover().2);
     }
 }

@@ -1,18 +1,34 @@
 //! Running one crash case and classifying what recovery made of it.
+//!
+//! A case splits into two halves that this module keeps strictly
+//! separate so the replay and fork strategies share them verbatim:
+//!
+//! * **Seizing** ([`ForkPoint::seize`]) — the moment an armed crash
+//!   fires, extract everything the case needs from the dying engine:
+//!   the crash image, the readback oracle, the write queue's in-flight
+//!   view, the simulated clock.
+//! * **Adjudication** (the crate-private `adjudicate`) — apply the
+//!   medium fault to the
+//!   image, run the scheme's recovery, and classify the result through
+//!   the readback oracle.
+//!
+//! Whether the engine reached the crash point by a from-scratch replay
+//! or by re-stepping a forked checkpoint is invisible to both halves,
+//! which is what makes fork-based exploration byte-identical to
+//! replay-based exploration.
 
+use crate::catch_quiet;
 use crate::fault::{apply_fault, FaultKind};
-use crate::{catch_quiet, install_panic_filter, SimSetup};
 use star_core::persist::{CrashRequested, PersistPoint, PersistPointKind};
-use star_core::{recover_traced, RecoveryError, SecureMemory};
+use star_core::{recover_traced, CrashImage, RecoveryError, SecureMemConfig, SecureMemory};
 use star_nvm::WriteRecord;
-use star_trace::{merge, CatMask, Histograms, TraceCategory, TraceEvent, TraceRecorder};
+use star_trace::{Histograms, TraceCategory, TraceEvent, TraceRecorder};
 use std::collections::BTreeMap;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Ring capacity for the device write journal; faults only ever target
 /// writes near the crash point, so this bounds memory without losing
 /// anything relevant.
-const JOURNAL_CAPACITY: usize = 4096;
+pub(crate) const JOURNAL_CAPACITY: usize = 4096;
 
 /// Readback probes per case: every committed line when few, a
 /// deterministic stride sample (always keeping the first and last
@@ -153,108 +169,101 @@ pub struct CaseTrace {
     pub dropped: u64,
 }
 
-/// Replays `setup` with a crash armed at `case.crash_at`, applies the
-/// fault to what survives, runs recovery, and classifies the result via
-/// the readback oracle. Fully deterministic in `(setup, case)`.
-pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
-    run_case_impl(setup, case, None).0
+/// A seized crash point: everything a crash at one persist point leaves
+/// behind, extracted from the engine the instant its armed
+/// `star_core::CrashPlan` fired.
+///
+/// One `ForkPoint` per persist point is the unit of fork-based
+/// exploration ([`CrashExplorer`](crate::CrashExplorer) with
+/// [`ExploreStrategy::Fork`](crate::ExploreStrategy::Fork)): the capture
+/// pass produces them incrementally from rolling engine forks, and
+/// adjudicating each one — fault application, recovery, readback — is
+/// exactly the tail of a full replay, so the resulting [`CaseResult`]s
+/// are byte-identical to replay-based ones.
+#[derive(Debug, Clone)]
+pub struct ForkPoint {
+    /// The crash request that produced this point.
+    pub crash: CrashRequested,
+    /// Simulated clock at the crash.
+    pub now_ps: u64,
+    /// Dirty (stale-in-NVM) metadata nodes at crash time.
+    pub stale_count: usize,
+    /// What physically survives: the NVM contents after the ADR battery
+    /// flush, plus the on-chip non-volatile registers.
+    pub image: CrashImage,
+    /// The readback oracle at this point: data line → last durably
+    /// committed version.
+    pub committed: BTreeMap<u64, u64>,
+    /// The write journal's view of the in-flight write queue at crash
+    /// time (oldest first) — the targets of sub-line faults.
+    pub undrained: Vec<WriteRecord>,
+    /// The most recently committed data line (tamper-fault target).
+    pub last_committed_line: Option<u64>,
+    /// Complete workload steps executed before the one that crashed.
+    /// Known for captured forks; `None` for plain replays, which don't
+    /// count steps.
+    pub ops_completed: Option<usize>,
 }
 
-/// [`run_case`] with tracing: the replayed engine records under `mask`,
-/// the injected crash and fault land on the timeline as
-/// [`TraceCategory::Fault`] instants (named `crash-injected`, then the
-/// fault's label, then the outcome's label), and recovery's phases
-/// continue on the same simulated clock.
-pub fn run_case_traced(
-    setup: &SimSetup,
-    case: &FaultCase,
-    mask: CatMask,
-) -> (CaseResult, CaseTrace) {
-    let (result, trace) = run_case_impl(setup, case, Some(mask));
-    (result, trace.expect("tracing was requested"))
-}
-
-fn run_case_impl(
-    setup: &SimSetup,
-    case: &FaultCase,
-    mask: Option<CatMask>,
-) -> (CaseResult, Option<CaseTrace>) {
-    install_panic_filter();
-    let mut engine = SecureMemory::new(setup.scheme, setup.cfg.clone());
-    if let Some(mask) = mask {
-        engine.enable_trace(mask, 0);
-    }
-    engine.enable_persist_log();
-    engine.enable_write_journal(JOURNAL_CAPACITY);
-    engine.arm_crash_at(case.crash_at);
-
-    let mut workload = setup.workload.instantiate(setup.seed);
-    let run = catch_unwind(AssertUnwindSafe(|| workload.run(setup.ops, &mut engine)));
-    let crash: CrashRequested = match run {
-        Ok(()) => {
-            let trace = mask.map(|_| CaseTrace {
-                events: engine.trace_events(),
-                hists: engine.trace_histograms().clone(),
-                dropped: engine.trace_dropped(),
-            });
-            let result = CaseResult {
-                crash_at: case.crash_at,
-                kind: None,
-                fault: case.fault,
-                outcome: Outcome::NotReached,
-                stale_count: 0,
-                recovery_reads: 0,
-                recovery_writes: 0,
-                recovery_time_ns: 0,
-                readback_checked: 0,
-                detail: format!(
-                    "run committed only {} persist points",
-                    engine.persist_points()
-                ),
-            };
-            return (result, trace);
-        }
-        Err(payload) => match payload.downcast::<CrashRequested>() {
-            Ok(crash) => *crash,
-            // Anything else is a genuine engine bug — do not classify it
-            // away as a fault-injection outcome.
-            Err(payload) => resume_unwind(payload),
-        },
-    };
-    engine.disarm_crash();
-
-    // Snapshot what the crash-consuming image cannot carry: the persist
-    // schedule (the oracle) and the write queue's view of in-flight
-    // writes (fault targets).
-    let schedule: Vec<PersistPoint> = engine.persist_log().to_vec();
-    let now_ps = engine.now_ps();
-    let undrained: Vec<WriteRecord> = engine
-        .write_journal()
-        .map(|j| j.undrained_at(now_ps))
-        .unwrap_or_default();
-    let committed = committed_versions(&schedule, crash.seq);
-    let last_committed_line = match crash.kind {
-        PersistPointKind::DataLineCommit { line, .. } => Some(line),
-        _ => schedule.iter().rev().find_map(|p| match p.kind {
+impl ForkPoint {
+    /// Extracts the fork point from an engine whose armed crash just
+    /// fired (its [`CrashRequested`] payload was caught by the caller).
+    /// Consumes the engine: the crash image is everything that survives.
+    pub fn seize(mut engine: SecureMemory, crash: CrashRequested) -> Self {
+        engine.disarm_crash();
+        // Snapshot what the crash-consuming image cannot carry: the
+        // persist schedule (the oracle) and the write queue's view of
+        // in-flight writes (fault targets).
+        let schedule: Vec<PersistPoint> = engine.persist_log().to_vec();
+        let now_ps = engine.now_ps();
+        let undrained: Vec<WriteRecord> = engine
+            .write_journal()
+            .map(|j| j.undrained_at(now_ps))
+            .unwrap_or_default();
+        let committed = committed_versions(&schedule, crash.seq);
+        let last_committed_line = match crash.kind {
             PersistPointKind::DataLineCommit { line, .. } => Some(line),
-            _ => None,
-        }),
-    };
-
-    // Detach the pre-crash timeline (the crash consumes the engine) and
-    // seed a second recorder on the same clock for the annotations and
-    // recovery phases.
-    let run_events = mask.map(|_| engine.trace_events());
-    let run_hists = mask.map(|_| engine.trace_histograms().clone());
-    let run_dropped = engine.trace_dropped();
-    let mut rec = TraceRecorder::off();
-    if let Some(mask) = mask {
-        rec.enable(mask, 0);
-        rec.set_now(now_ps);
+            _ => schedule.iter().rev().find_map(|p| match p.kind {
+                PersistPointKind::DataLineCommit { line, .. } => Some(line),
+                _ => None,
+            }),
+        };
+        let image = engine.crash();
+        let stale_count = image.stale_node_count();
+        Self {
+            crash,
+            now_ps,
+            stale_count,
+            image,
+            committed,
+            undrained,
+            last_committed_line,
+            ops_completed: None,
+        }
     }
+}
 
-    let mut image = engine.crash();
-    let stale_count = image.stale_node_count();
+/// The tail of a crash case, shared verbatim by the replay and fork
+/// strategies: apply the fault to the image, run recovery, classify the
+/// result through the readback oracle. `rec` carries the trace
+/// annotations and must already sit at the point's crash time (pass
+/// [`TraceRecorder::off`] when not tracing).
+pub(crate) fn adjudicate(
+    point: ForkPoint,
+    fault: FaultKind,
+    cfg: &SecureMemConfig,
+    rec: &mut TraceRecorder,
+) -> CaseResult {
+    let ForkPoint {
+        crash,
+        now_ps,
+        stale_count,
+        mut image,
+        committed,
+        undrained,
+        last_committed_line,
+        ..
+    } = point;
     rec.instant2(
         TraceCategory::Fault,
         "crash-injected",
@@ -262,26 +271,17 @@ fn run_case_impl(
         ("stale_nodes", stale_count as u64),
     );
 
-    let finish = |rec: TraceRecorder, result: CaseResult| {
-        let trace = mask.map(|_| CaseTrace {
-            events: merge(&[run_events.as_deref().unwrap_or_default(), &rec.events()]),
-            hists: run_hists.clone().unwrap_or_default(),
-            dropped: run_dropped + rec.dropped(),
-        });
-        (result, trace)
-    };
-
     if !apply_fault(
         &mut image,
-        &case.fault,
+        &fault,
         &committed,
         &undrained,
         last_committed_line,
     ) {
-        let result = CaseResult {
+        return CaseResult {
             crash_at: crash.seq,
             kind: Some(crash.kind),
-            fault: case.fault,
+            fault,
             outcome: Outcome::Skipped,
             stale_count,
             recovery_reads: 0,
@@ -290,14 +290,13 @@ fn run_case_impl(
             readback_checked: 0,
             detail: "fault had no target at this point".into(),
         };
-        return finish(rec, result);
     }
-    rec.instant(TraceCategory::Fault, case.fault.label(), ("seq", crash.seq));
+    rec.instant(TraceCategory::Fault, fault.label(), ("seq", crash.seq));
 
     let mut result = CaseResult {
         crash_at: crash.seq,
         kind: Some(crash.kind),
-        fault: case.fault,
+        fault,
         outcome: Outcome::Recovered,
         stale_count,
         recovery_reads: 0,
@@ -307,7 +306,7 @@ fn run_case_impl(
         detail: String::new(),
     };
 
-    match recover_traced(&mut image, &mut rec) {
+    match recover_traced(&mut image, rec) {
         Err(RecoveryError::NotRecoverable(_)) => {
             result.outcome = Outcome::Unrecoverable;
             result.detail = "scheme has no recovery path".into();
@@ -320,7 +319,7 @@ fn run_case_impl(
             result.recovery_reads = report.nvm_reads;
             result.recovery_writes = report.nvm_writes;
             result.recovery_time_ns = report.recovery_time_ns;
-            let (outcome, checked, detail) = readback_outcome(&image, setup, &committed);
+            let (outcome, checked, detail) = readback_outcome(&image, cfg, &committed);
             result.outcome = outcome;
             result.readback_checked = checked;
             result.detail = detail;
@@ -334,17 +333,17 @@ fn run_case_impl(
         result.outcome.label(),
         ("checked", result.readback_checked as u64),
     );
-    finish(rec, result)
+    result
 }
 
 /// Boots a fresh engine from the recovered image and reads committed
 /// lines back through the full verify-and-decrypt path.
 fn readback_outcome(
-    image: &star_core::CrashImage,
-    setup: &SimSetup,
+    image: &CrashImage,
+    cfg: &SecureMemConfig,
     committed: &BTreeMap<u64, u64>,
 ) -> (Outcome, usize, String) {
-    let mut resumed = SecureMemory::resume_from_image(image, setup.cfg.clone());
+    let mut resumed = SecureMemory::resume_from_image(image, cfg.clone());
     let lines: Vec<(u64, u64)> = sample_lines(committed);
     let mut checked = 0;
     for &(line, want) in &lines {

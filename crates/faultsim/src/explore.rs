@@ -1,25 +1,566 @@
 //! The crash-schedule explorer.
 //!
-//! A dry run (instrumented, no crash armed) yields the run's complete
-//! persist schedule; the explorer then replays the run once per chosen
-//! schedule point with the crash injected there. Below the case budget
-//! the sweep is exhaustive — every persist point is crashed on,
-//! including the windows between a data-line commit and the later
-//! write-back of its parent counter/MAC node. Above the budget, points
-//! are drawn by seeded random sampling (deterministic per plan), always
-//! keeping the first and last point.
+//! [`CrashExplorer`] is the one builder behind every crash sweep — the
+//! faultsim CLI, the sweep tests and `star-check`'s mid-run crash probes
+//! all construct the same thing. It supports two strategies with
+//! byte-identical reports:
+//!
+//! * [`ExploreStrategy::Fork`] (the default) executes the workload
+//!   **once**, keeps one rolling machine checkpoint (an
+//!   `engine.fork()` + `workload.fork_box()` pair, O(dirty-delta) via
+//!   the copy-on-write line store), and at each chosen persist point
+//!   re-steps a forked checkpoint with the crash armed. Only the crash,
+//!   recovery and readback run per case.
+//! * [`ExploreStrategy::Replay`] replays the run from scratch once per
+//!   chosen point — O(ops × cases) work, kept as the oracle the fork
+//!   strategy is checked against (see the `fork_equivalence` tests and
+//!   the CI gate).
+//!
+//! Below the case budget the sweep is exhaustive — every persist point
+//! is crashed on, including the windows between a data-line commit and
+//! the later write-back of its parent counter/MAC node. Above the
+//! budget, points are drawn by seeded random sampling (deterministic
+//! per explorer), always keeping the first and last point.
 
-use crate::case::{run_case, CaseResult, FaultCase};
+use crate::case::{
+    adjudicate, CaseResult, CaseTrace, FaultCase, ForkPoint, Outcome, JOURNAL_CAPACITY,
+};
 use crate::fault::FaultKind;
 use crate::report::ExploreReport;
-use crate::{install_panic_filter, SimSetup};
-use star_core::persist::PersistPoint;
-use star_core::SecureMemory;
+use crate::{faultsim_config, install_panic_filter};
+use star_core::persist::{CrashRequested, PersistPoint};
+use star_core::{CrashPlan, SchemeKind, SecureMemConfig, SecureMemory};
 use star_rng::SimRng;
 use star_sweep::SweepKey;
+use star_trace::{merge, CatMask, TraceRecorder};
+use star_workloads::{Workload, WorkloadKind};
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// How the explorer reaches each crash point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExploreStrategy {
+    /// Execute the workload once; fork the machine at each chosen
+    /// persist point and run only the crash, recovery and readback per
+    /// case. O(ops + cases) stepped operations in total.
+    #[default]
+    Fork,
+    /// Replay the workload from scratch once per case: O(ops × cases).
+    /// The oracle [`Fork`](ExploreStrategy::Fork) is checked against.
+    Replay,
+}
+
+/// What drives the engine: a named workload from the paper's table, or
+/// an arbitrary caller-supplied stream (e.g. `star-check` programs).
+#[derive(Clone)]
+enum Driver {
+    Kind(WorkloadKind),
+    Factory {
+        label: &'static str,
+        make: Arc<dyn Fn() -> Box<dyn Workload> + Send + Sync>,
+    },
+}
+
+impl core::fmt::Debug for Driver {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Driver::Kind(k) => f.debug_tuple("Kind").field(k).finish(),
+            Driver::Factory { label, .. } => f.debug_tuple("Factory").field(label).finish(),
+        }
+    }
+}
+
+/// The unified crash-sweep builder: which run, which fault, which
+/// points, how parallel, and by which strategy.
+///
+/// ```
+/// use star_core::SchemeKind;
+/// use star_faultsim::{CrashExplorer, Outcome};
+/// use star_workloads::WorkloadKind;
+///
+/// let report = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 40, 7).explore();
+/// assert!(report.total_points > 0);
+/// assert_eq!(report.count(Outcome::SilentCorruption), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrashExplorer {
+    scheme: SchemeKind,
+    driver: Driver,
+    ops: usize,
+    seed: u64,
+    cfg: SecureMemConfig,
+    fault: FaultKind,
+    exhaustive: bool,
+    max_cases: usize,
+    sample_seed: u64,
+    threads: usize,
+    strategy: ExploreStrategy,
+}
+
+impl CrashExplorer {
+    /// An explorer over a named workload with the default faultsim
+    /// configuration: clean crashes, sampled above a 256-case budget,
+    /// serial, fork strategy.
+    pub fn new(scheme: SchemeKind, workload: WorkloadKind, ops: usize, seed: u64) -> Self {
+        Self {
+            scheme,
+            driver: Driver::Kind(workload),
+            ops,
+            seed,
+            cfg: faultsim_config(),
+            fault: FaultKind::CrashOnly,
+            exhaustive: false,
+            max_cases: 256,
+            sample_seed: 1,
+            threads: 1,
+            strategy: ExploreStrategy::Fork,
+        }
+    }
+
+    /// An explorer over a caller-supplied workload factory (`make` must
+    /// return an identically-seeded fresh instance each call), driving
+    /// `ops` steps under `cfg`. This is how `star-check` runs its
+    /// programs through the shared crash machinery, and how the sweep
+    /// bench drives workloads outside the paper's registry; `label`
+    /// stands in for the workload name in reports.
+    pub fn with_workload_factory(
+        scheme: SchemeKind,
+        cfg: SecureMemConfig,
+        label: &'static str,
+        ops: usize,
+        make: Arc<dyn Fn() -> Box<dyn Workload> + Send + Sync>,
+    ) -> Self {
+        Self {
+            scheme,
+            driver: Driver::Factory { label, make },
+            ops,
+            seed: 0,
+            cfg,
+            fault: FaultKind::CrashOnly,
+            exhaustive: false,
+            max_cases: 256,
+            sample_seed: 1,
+            threads: 1,
+            strategy: ExploreStrategy::Fork,
+        }
+    }
+
+    /// Same explorer under a different engine configuration.
+    pub fn with_config(mut self, cfg: SecureMemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Same explorer with a different fault.
+    pub fn with_fault(mut self, fault: FaultKind) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Same explorer, forced exhaustive (every persist point regardless
+    /// of the case budget).
+    pub fn all_points(mut self) -> Self {
+        self.exhaustive = true;
+        self
+    }
+
+    /// Same explorer with a different case budget.
+    pub fn with_max_cases(mut self, max_cases: usize) -> Self {
+        self.max_cases = max_cases;
+        self
+    }
+
+    /// Same explorer with a different point-sampling seed (independent
+    /// of the workload seed so the two can be varied separately).
+    pub fn with_sample_seed(mut self, sample_seed: u64) -> Self {
+        self.sample_seed = sample_seed;
+        self
+    }
+
+    /// Same explorer, adjudicating cases on `threads` workers (1 =
+    /// serial; any value produces a byte-identical report, see
+    /// `star_sweep`'s determinism contract).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Same explorer under a different strategy.
+    pub fn with_strategy(mut self, strategy: ExploreStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The engine configuration in use.
+    pub fn config(&self) -> &SecureMemConfig {
+        &self.cfg
+    }
+
+    /// The scheme under test.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// The injected fault.
+    pub fn fault(&self) -> FaultKind {
+        self.fault
+    }
+
+    fn instantiate(&self) -> Box<dyn Workload> {
+        match &self.driver {
+            Driver::Kind(kind) => kind.instantiate(self.seed),
+            Driver::Factory { make, .. } => make(),
+        }
+    }
+
+    fn workload_label(&self) -> &'static str {
+        match &self.driver {
+            Driver::Kind(kind) => kind.label(),
+            Driver::Factory { label, .. } => label,
+        }
+    }
+
+    fn key(&self, seq: u64) -> SweepKey {
+        SweepKey {
+            rank: seq,
+            workload: self.workload_label(),
+            scheme: self.scheme.label(),
+            seed: self.seed,
+            case: seq,
+        }
+    }
+
+    /// Runs the workload to completion with instrumentation on and no
+    /// crash armed, returning the full persist schedule.
+    pub fn schedule(&self) -> Vec<PersistPoint> {
+        self.schedule_by_op().0
+    }
+
+    /// [`schedule`](Self::schedule), plus the zero-based op index that
+    /// committed each point (`op_of_point[seq - 1]`). The capture run
+    /// uses this to checkpoint only before ops that commit a chosen
+    /// point — on low-persist-rate workloads most ops commit nothing,
+    /// and skipping their checkpoints is what keeps the fork strategy's
+    /// overhead proportional to the number of cases, not the run length.
+    pub fn schedule_by_op(&self) -> (Vec<PersistPoint>, Vec<usize>) {
+        install_panic_filter();
+        let mut engine = SecureMemory::new(self.scheme, self.cfg.clone());
+        engine.enable_persist_log();
+        let mut workload = self.instantiate();
+        let mut op_of_point = Vec::new();
+        for op in 0..self.ops {
+            workload.step(&mut engine);
+            op_of_point.resize(engine.persist_points() as usize, op);
+        }
+        (engine.persist_log().to_vec(), op_of_point)
+    }
+
+    /// Which schedule points this explorer will crash on, for a
+    /// schedule of `total_points` points.
+    pub fn chosen_points(&self, total_points: u64) -> Vec<u64> {
+        if total_points == 0 {
+            return Vec::new();
+        }
+        if self.exhaustive || total_points <= self.max_cases as u64 {
+            return (1..=total_points).collect();
+        }
+        let mut picked: BTreeSet<u64> = BTreeSet::new();
+        picked.insert(1);
+        picked.insert(total_points);
+        let mut rng = SimRng::seed_from_u64(self.sample_seed);
+        while picked.len() < self.max_cases {
+            picked.insert(rng.gen_range_inclusive(1..=total_points));
+        }
+        picked.into_iter().collect()
+    }
+
+    /// Executes the workload **once** and seizes a [`ForkPoint`] at
+    /// each persist point in `wanted` (sorted ascending), by re-stepping
+    /// a rolling machine checkpoint with the crash armed. Returns the
+    /// persist schedule of what executed — the full run, or (when every
+    /// wanted point was seized early) the prefix up to the op that
+    /// committed the last one — and the seized points; wanted points
+    /// beyond the schedule produce no fork (the run never reaches them).
+    pub fn capture(&self, wanted: &[u64]) -> (Vec<PersistPoint>, Vec<ForkPoint>) {
+        assert!(
+            wanted.windows(2).all(|w| w[0] < w[1]),
+            "wanted points must be sorted and distinct"
+        );
+        self.capture_impl(Some(wanted), None)
+    }
+
+    /// [`capture`](Self::capture) at **every** persist point of the run,
+    /// without needing the schedule in advance (a single execution).
+    pub fn capture_all(&self) -> (Vec<PersistPoint>, Vec<ForkPoint>) {
+        self.capture_impl(None, None)
+    }
+
+    fn capture_impl(
+        &self,
+        wanted: Option<&[u64]>,
+        commit_ops: Option<&BTreeSet<usize>>,
+    ) -> (Vec<PersistPoint>, Vec<ForkPoint>) {
+        install_panic_filter();
+        let mut engine = SecureMemory::new(self.scheme, self.cfg.clone());
+        engine.enable_persist_log();
+        // Journal on during capture so a fork's journal matches what a
+        // from-scratch replay would carry at the same point.
+        engine.enable_write_journal(JOURNAL_CAPACITY);
+        let mut workload = self.instantiate();
+        let mut forks: Vec<ForkPoint> = Vec::new();
+        let mut next = 0usize; // cursor into `wanted`
+        for op in 0..self.ops {
+            let want_more = wanted.is_none_or(|w| next < w.len());
+            // One rolling checkpoint per step that might commit a wanted
+            // point: the freeze inside fork() is O(lines dirtied since
+            // the last freeze) and the clone shares every frozen layer.
+            // With a `commit_ops` hint (from a schedule pre-pass), ops
+            // known to commit nothing skip the checkpoint entirely.
+            let mut checkpoint = if want_more && commit_ops.is_none_or(|s| s.contains(&op)) {
+                Some((engine.fork(), workload.fork_box()))
+            } else {
+                None
+            };
+            let before = engine.persist_points();
+            workload.step(&mut engine);
+            let after = engine.persist_points();
+            let Some((ck_engine, ck_workload)) = checkpoint.as_mut() else {
+                debug_assert!(
+                    !want_more
+                        || wanted
+                            .and_then(|w| w.get(next))
+                            .is_none_or(|&seq| seq > after),
+                    "commit-op hint must cover every op that commits a wanted point"
+                );
+                continue;
+            };
+            let targets: Vec<u64> = match wanted {
+                Some(w) => {
+                    let t: Vec<u64> = w[next..]
+                        .iter()
+                        .copied()
+                        .take_while(|&s| s <= after)
+                        .collect();
+                    next += t.len();
+                    t
+                }
+                None => (before + 1..=after).collect(),
+            };
+            for seq in targets {
+                let mut fork = ck_engine.fork();
+                let mut steps = ck_workload.fork_box();
+                fork.arm(CrashPlan::at(seq));
+                let run = catch_unwind(AssertUnwindSafe(|| steps.step(&mut fork)));
+                let crash: CrashRequested = match run {
+                    Err(payload) => match payload.downcast::<CrashRequested>() {
+                        Ok(crash) => *crash,
+                        // A non-crash panic is a genuine engine bug — do
+                        // not classify it away.
+                        Err(payload) => resume_unwind(payload),
+                    },
+                    Ok(()) => panic!(
+                        "fork desync: crash armed at point {seq} did not fire while \
+                         re-stepping the op that committed it"
+                    ),
+                };
+                debug_assert_eq!(crash.seq, seq, "armed point and fired point must agree");
+                let mut point = ForkPoint::seize(fork, crash);
+                point.ops_completed = Some(op);
+                forks.push(point);
+            }
+            // Every wanted point is seized: the rest of the run cannot
+            // add forks, so don't execute it (this also keeps probes of
+            // a *truncated* schedule from tripping over whatever cut the
+            // schedule short — e.g. a shrink candidate whose later read
+            // fails verification).
+            if wanted.is_some_and(|w| next >= w.len()) {
+                break;
+            }
+        }
+        (engine.persist_log().to_vec(), forks)
+    }
+
+    /// Replays the run with a crash armed at `case.crash_at`, applies
+    /// the fault to what survives, runs recovery, and classifies the
+    /// result via the readback oracle. Fully deterministic in
+    /// `(self, case)`; always replay-based regardless of the strategy
+    /// (single cases have nothing to amortize).
+    pub fn run_case(&self, case: &FaultCase) -> CaseResult {
+        self.replay_impl(case, None).0
+    }
+
+    /// [`run_case`](Self::run_case) with tracing: the replayed engine
+    /// records under `mask`, the injected crash and fault land on the
+    /// timeline as `fault`-category instants (named `crash-injected`,
+    /// then the fault's label, then the outcome's label), and recovery's
+    /// phases continue on the same simulated clock.
+    pub fn run_case_traced(&self, case: &FaultCase, mask: CatMask) -> (CaseResult, CaseTrace) {
+        let (result, trace) = self.replay_impl(case, Some(mask));
+        (result, trace.expect("tracing was requested"))
+    }
+
+    fn replay_impl(
+        &self,
+        case: &FaultCase,
+        mask: Option<CatMask>,
+    ) -> (CaseResult, Option<CaseTrace>) {
+        install_panic_filter();
+        let mut engine = SecureMemory::new(self.scheme, self.cfg.clone());
+        if let Some(mask) = mask {
+            engine.enable_trace(mask, 0);
+        }
+        engine.enable_persist_log();
+        engine.enable_write_journal(JOURNAL_CAPACITY);
+        engine.arm(CrashPlan::at(case.crash_at));
+
+        let mut workload = self.instantiate();
+        let ops = self.ops;
+        let run = catch_unwind(AssertUnwindSafe(|| workload.run(ops, &mut engine)));
+        let crash: CrashRequested = match run {
+            Ok(()) => {
+                let trace = mask.map(|_| CaseTrace {
+                    events: engine.trace_events(),
+                    hists: engine.trace_histograms().clone(),
+                    dropped: engine.trace_dropped(),
+                });
+                let result = CaseResult {
+                    crash_at: case.crash_at,
+                    kind: None,
+                    fault: case.fault,
+                    outcome: Outcome::NotReached,
+                    stale_count: 0,
+                    recovery_reads: 0,
+                    recovery_writes: 0,
+                    recovery_time_ns: 0,
+                    readback_checked: 0,
+                    detail: format!(
+                        "run committed only {} persist points",
+                        engine.persist_points()
+                    ),
+                };
+                return (result, trace);
+            }
+            Err(payload) => match payload.downcast::<CrashRequested>() {
+                Ok(crash) => *crash,
+                // Anything else is a genuine engine bug — do not
+                // classify it away as a fault-injection outcome.
+                Err(payload) => resume_unwind(payload),
+            },
+        };
+
+        // Detach the pre-crash timeline (the crash consumes the engine)
+        // and seed a second recorder on the same clock for the
+        // annotations and recovery phases.
+        let run_events = mask.map(|_| engine.trace_events());
+        let run_hists = mask.map(|_| engine.trace_histograms().clone());
+        let run_dropped = engine.trace_dropped();
+        let mut rec = TraceRecorder::off();
+        if let Some(mask) = mask {
+            rec.enable(mask, 0);
+            rec.set_now(engine.now_ps());
+        }
+
+        let point = ForkPoint::seize(engine, crash);
+        let result = adjudicate(point, case.fault, &self.cfg, &mut rec);
+        let trace = mask.map(|_| CaseTrace {
+            events: merge(&[run_events.as_deref().unwrap_or_default(), &rec.events()]),
+            hists: run_hists.unwrap_or_default(),
+            dropped: run_dropped + rec.dropped(),
+        });
+        (result, trace)
+    }
+
+    /// Explores the run: one crash-and-recover case per chosen persist
+    /// point, classified and collected into a machine-readable report.
+    ///
+    /// Cases are independent, so they shard across
+    /// [`with_threads`](Self::with_threads) workers (see [`star_sweep`]);
+    /// results merge back in persist-point order, making the report —
+    /// including its JSON bytes — identical for every thread count *and*
+    /// for both strategies.
+    pub fn explore(&self) -> ExploreReport {
+        match self.strategy {
+            ExploreStrategy::Replay => self.explore_replay(),
+            ExploreStrategy::Fork => self.explore_fork(),
+        }
+    }
+
+    fn explore_replay(&self) -> ExploreReport {
+        let schedule = self.schedule();
+        let total_points = schedule.len() as u64;
+        let points = self.chosen_points(total_points);
+        let jobs: Vec<(SweepKey, FaultCase)> = points
+            .iter()
+            .map(|&seq| {
+                (
+                    self.key(seq),
+                    FaultCase {
+                        crash_at: seq,
+                        fault: self.fault,
+                    },
+                )
+            })
+            .collect();
+        let cases: Vec<CaseResult> =
+            star_sweep::run_merged(self.threads, jobs, |_, case| self.run_case(case));
+        self.report(total_points, cases)
+    }
+
+    fn explore_fork(&self) -> ExploreReport {
+        // A fork-free schedule pre-pass learns the run length, which
+        // points exist, and which op commits each one; the capture run
+        // then checkpoints only before ops that commit a chosen point.
+        // The pre-pass costs one plain execution, which the skipped
+        // checkpoints repay many times over whenever persist points are
+        // sparser than ops.
+        let (schedule, op_of_point) = self.schedule_by_op();
+        let total_points = schedule.len() as u64;
+        let points = self.chosen_points(total_points);
+        let commit_ops: BTreeSet<usize> = points
+            .iter()
+            .map(|&seq| op_of_point[(seq - 1) as usize])
+            .collect();
+        let (_, forks) = self.capture_impl(Some(&points), Some(&commit_ops));
+        let jobs: Vec<(SweepKey, ForkPoint)> = forks
+            .into_iter()
+            .map(|point| (self.key(point.crash.seq), point))
+            .collect();
+        let cases: Vec<CaseResult> = star_sweep::run_merged(self.threads, jobs, |_, point| {
+            adjudicate(
+                point.clone(),
+                self.fault,
+                &self.cfg,
+                &mut TraceRecorder::off(),
+            )
+        });
+        self.report(total_points, cases)
+    }
+
+    fn report(&self, total_points: u64, cases: Vec<CaseResult>) -> ExploreReport {
+        ExploreReport {
+            scheme: self.scheme,
+            workload: self.workload_label(),
+            ops: self.ops,
+            seed: self.seed,
+            fault: self.fault,
+            total_points,
+            exhaustive: cases.len() as u64 == total_points,
+            cases,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated pre-CrashExplorer surface, kept as thin forwarding shims.
+// ---------------------------------------------------------------------
+
+#[allow(deprecated)]
+use crate::SimSetup;
 
 /// What to explore and how hard.
+#[deprecated(since = "0.7.0", note = "use `CrashExplorer` instead")]
+#[allow(deprecated)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExplorePlan {
     /// The run under test.
@@ -39,6 +580,7 @@ pub struct ExplorePlan {
     pub threads: usize,
 }
 
+#[allow(deprecated)]
 impl ExplorePlan {
     /// A clean-crash plan with the default sampling budget, serial.
     pub fn new(setup: SimSetup) -> Self {
@@ -69,115 +611,137 @@ impl ExplorePlan {
         self.threads = threads;
         self
     }
+
+    fn explorer(&self) -> CrashExplorer {
+        CrashExplorer::from(&self.setup)
+            .with_fault(self.fault)
+            .with_max_cases(self.max_cases)
+            .with_sample_seed(self.sample_seed)
+            .with_threads(self.threads)
+            .with_strategy(ExploreStrategy::Replay)
+    }
+}
+
+#[allow(deprecated)]
+impl From<&SimSetup> for CrashExplorer {
+    fn from(setup: &SimSetup) -> Self {
+        CrashExplorer::new(setup.scheme, setup.workload, setup.ops, setup.seed)
+            .with_config(setup.cfg.clone())
+    }
 }
 
 /// Runs `setup` to completion with instrumentation on and no crash
 /// armed, returning the full persist schedule.
+#[deprecated(since = "0.7.0", note = "use `CrashExplorer::schedule` instead")]
+#[allow(deprecated)]
 pub fn persist_schedule(setup: &SimSetup) -> Vec<PersistPoint> {
-    install_panic_filter();
-    let mut engine = SecureMemory::new(setup.scheme, setup.cfg.clone());
-    engine.enable_persist_log();
-    let mut workload = setup.workload.instantiate(setup.seed);
-    workload.run(setup.ops, &mut engine);
-    engine.persist_log().to_vec()
+    CrashExplorer::from(setup).schedule()
 }
 
 /// Which schedule points a plan will crash on.
+#[deprecated(since = "0.7.0", note = "use `CrashExplorer::chosen_points` instead")]
+#[allow(deprecated)]
 pub fn chosen_points(plan: &ExplorePlan, total_points: u64) -> Vec<u64> {
-    if total_points == 0 {
-        return Vec::new();
+    let mut explorer = plan.explorer();
+    if plan.exhaustive {
+        explorer = explorer.all_points();
     }
-    if plan.exhaustive || total_points <= plan.max_cases as u64 {
-        return (1..=total_points).collect();
-    }
-    let mut picked: BTreeSet<u64> = BTreeSet::new();
-    picked.insert(1);
-    picked.insert(total_points);
-    let mut rng = SimRng::seed_from_u64(plan.sample_seed);
-    while picked.len() < plan.max_cases {
-        picked.insert(rng.gen_range_inclusive(1..=total_points));
-    }
-    picked.into_iter().collect()
+    explorer.chosen_points(total_points)
 }
 
-/// Explores the plan: one replay-and-recover case per chosen persist
-/// point, classified and collected into a machine-readable report.
-///
-/// Cases are independent replays, so they shard across
-/// `plan.threads` workers (see [`star_sweep`]); results merge back in
-/// persist-point order, making the report — including its JSON bytes —
-/// identical for every thread count.
+/// Explores the plan with the replay strategy (the pre-fork behavior).
+#[deprecated(since = "0.7.0", note = "use `CrashExplorer::explore` instead")]
+#[allow(deprecated)]
 pub fn explore(plan: &ExplorePlan) -> ExploreReport {
-    let schedule = persist_schedule(&plan.setup);
-    let total_points = schedule.len() as u64;
-    let points = chosen_points(plan, total_points);
-    let jobs: Vec<(SweepKey, FaultCase)> = points
-        .iter()
-        .map(|&seq| {
-            (
-                SweepKey {
-                    rank: seq,
-                    workload: plan.setup.workload.label(),
-                    scheme: plan.setup.scheme.label(),
-                    seed: plan.setup.seed,
-                    case: seq,
-                },
-                FaultCase {
-                    crash_at: seq,
-                    fault: plan.fault,
-                },
-            )
-        })
-        .collect();
-    let cases: Vec<CaseResult> =
-        star_sweep::run_merged(plan.threads, jobs, |_, case| run_case(&plan.setup, case));
-    ExploreReport {
-        scheme: plan.setup.scheme,
-        workload: plan.setup.workload,
-        ops: plan.setup.ops,
-        seed: plan.setup.seed,
-        fault: plan.fault,
-        total_points,
-        exhaustive: points.len() as u64 == total_points,
-        cases,
+    let mut explorer = plan.explorer();
+    if plan.exhaustive {
+        explorer = explorer.all_points();
     }
+    explorer.explore()
+}
+
+/// Replays `setup` with a crash armed at `case.crash_at` and classifies
+/// the outcome.
+#[deprecated(since = "0.7.0", note = "use `CrashExplorer::run_case` instead")]
+#[allow(deprecated)]
+pub fn run_case(setup: &SimSetup, case: &FaultCase) -> CaseResult {
+    CrashExplorer::from(setup).run_case(case)
+}
+
+/// [`run_case`] with tracing.
+#[deprecated(since = "0.7.0", note = "use `CrashExplorer::run_case_traced` instead")]
+#[allow(deprecated)]
+pub fn run_case_traced(
+    setup: &SimSetup,
+    case: &FaultCase,
+    mask: CatMask,
+) -> (CaseResult, CaseTrace) {
+    CrashExplorer::from(setup).run_case_traced(case, mask)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use star_core::SchemeKind;
-    use star_workloads::WorkloadKind;
 
-    fn tiny_plan() -> ExplorePlan {
-        ExplorePlan::new(SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 24, 3))
+    fn tiny() -> CrashExplorer {
+        CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 24, 3)
     }
 
     #[test]
     fn schedule_is_deterministic() {
-        let plan = tiny_plan();
-        let a = persist_schedule(&plan.setup);
-        let b = persist_schedule(&plan.setup);
+        let a = tiny().schedule();
+        let b = tiny().schedule();
         assert!(!a.is_empty());
         assert_eq!(a, b);
     }
 
     #[test]
     fn small_schedules_are_swept_exhaustively() {
-        let plan = tiny_plan();
-        let points = chosen_points(&plan, 40);
+        let points = tiny().chosen_points(40);
         assert_eq!(points, (1..=40).collect::<Vec<u64>>());
     }
 
     #[test]
     fn sampling_is_bounded_deterministic_and_keeps_extremes() {
-        let plan = tiny_plan();
-        let a = chosen_points(&plan, 100_000);
-        let b = chosen_points(&plan, 100_000);
+        let explorer = tiny();
+        let a = explorer.chosen_points(100_000);
+        let b = explorer.chosen_points(100_000);
         assert_eq!(a, b);
-        assert_eq!(a.len(), plan.max_cases);
+        assert_eq!(a.len(), 256);
         assert_eq!(a.first(), Some(&1));
         assert_eq!(a.last(), Some(&100_000));
         assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+    }
+
+    #[test]
+    fn capture_yields_one_fork_per_wanted_point() {
+        let explorer = tiny();
+        let schedule = explorer.schedule();
+        let total = schedule.len() as u64;
+        let wanted = [1, total / 2, total];
+        let (captured_schedule, forks) = explorer.capture(&wanted);
+        assert_eq!(captured_schedule, schedule);
+        assert_eq!(forks.len(), wanted.len());
+        for (point, &seq) in forks.iter().zip(&wanted) {
+            assert_eq!(point.crash.seq, seq);
+            assert!(point.ops_completed.is_some());
+        }
+    }
+
+    #[test]
+    fn wanted_points_beyond_the_schedule_produce_no_fork() {
+        let explorer = tiny();
+        let total = explorer.schedule().len() as u64;
+        let (_, forks) = explorer.capture(&[1, total + 500]);
+        assert_eq!(forks.len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_explorer() {
+        let setup = SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 24, 3);
+        assert_eq!(persist_schedule(&setup), tiny().schedule());
+        let plan = ExplorePlan::new(setup);
+        assert_eq!(chosen_points(&plan, 40), (1..=40).collect::<Vec<u64>>());
     }
 }

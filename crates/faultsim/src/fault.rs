@@ -9,64 +9,10 @@ use star_core::CrashImage;
 use star_nvm::{AccessClass, Line, LineAddr, WriteRecord};
 use std::collections::BTreeMap;
 
-/// The fault injected together with the crash.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultKind {
-    /// A clean power failure under the paper's fault model: the ADR
-    /// domain (write-pending queue + bitmap lines) is flushed, nothing
-    /// else is damaged. Every recoverable scheme must turn every such
-    /// case into [`Recovered`](crate::Outcome::Recovered) (STAR, Anubis)
-    /// or at worst a *detected* loss (Strict mid-chain).
-    CrashOnly,
-    /// Platform **without** ADR: up to `max_entries` of the newest writes
-    /// still occupying write-queue slots at crash time are lost (their
-    /// pre-images reappear). This deliberately violates the assumption
-    /// STAR builds on; losing a *consistent suffix* of writes rolls the
-    /// world back undetectably, so
-    /// [`SilentCorruption`](crate::Outcome::SilentCorruption) outcomes
-    /// here demonstrate why ADR is load-bearing rather than indicating a
-    /// scheme bug.
-    DropWpq {
-        /// Maximum undrained entries to drop (newest first).
-        max_entries: usize,
-    },
-    /// The most recent in-flight write tears: the first 32 bytes of the
-    /// new content land, the last 32 bytes (which hold the MAC field)
-    /// keep their pre-image. Must never be silent.
-    TornWrite,
-    /// Flip bit `bit % 64` of the stored MAC field of the most recently
-    /// committed data line — straight tampering; must be detected.
-    FlipMacBit {
-        /// Which MAC-field bit to flip.
-        bit: u32,
-    },
-    /// Flip bit `bit % 448` in the stored counter block covering the most
-    /// recently committed data line (its parent node's NVM copy) — the
-    /// counters recovery consumes; must be detected.
-    FlipCounterBit {
-        /// Which counter-region bit to flip.
-        bit: u32,
-    },
-}
-
-impl FaultKind {
-    /// Report label.
-    pub fn label(self) -> &'static str {
-        match self {
-            FaultKind::CrashOnly => "crash-only",
-            FaultKind::DropWpq { .. } => "drop-wpq",
-            FaultKind::TornWrite => "torn-write",
-            FaultKind::FlipMacBit { .. } => "flip-mac-bit",
-            FaultKind::FlipCounterBit { .. } => "flip-counter-bit",
-        }
-    }
-}
-
-impl core::fmt::Display for FaultKind {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(self.label())
-    }
-}
+/// The fault vocabulary is defined next to [`star_core::CrashPlan`] so a
+/// plan can carry it through the engine; this crate owns its *semantics*
+/// ([`apply_fault`](self)).
+pub use star_core::FaultKind;
 
 /// Queue entries the ADR assumption protects: bitmap lines live *in* the
 /// ADR domain proper and survive even on the platforms `DropWpq` models,

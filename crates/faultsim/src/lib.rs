@@ -18,13 +18,15 @@
 //!    line mid-write ([`FaultKind::TornWrite`]), or flipping stored
 //!    MAC/counter bits ([`FaultKind::FlipMacBit`],
 //!    [`FaultKind::FlipCounterBit`]).
-//! 3. **Exploration** — [`fn@explore`] replays the run once per schedule
-//!    point with the crash injected there (exhaustively below a case
-//!    budget, seeded-random sampling above), runs the scheme's recovery,
-//!    and classifies each case as [`Outcome::Recovered`],
-//!    [`Outcome::DetectedTamper`] or [`Outcome::SilentCorruption`] — the
-//!    last being a test failure for every recoverable scheme under the
-//!    paper's fault model.
+//! 3. **Exploration** — [`CrashExplorer`] executes the run **once**,
+//!    forks the whole machine at each chosen schedule point
+//!    (exhaustively below a case budget, seeded-random sampling above),
+//!    runs the scheme's recovery on each [`ForkPoint`], and classifies
+//!    each case as [`Outcome::Recovered`], [`Outcome::DetectedTamper`]
+//!    or [`Outcome::SilentCorruption`] — the last being a test failure
+//!    for every recoverable scheme under the paper's fault model. The
+//!    O(ops × cases) replay strategy ([`ExploreStrategy::Replay`]) is
+//!    kept as the oracle the fork strategy is byte-identical to.
 //!
 //! Classification is grounded in a **readback oracle**: the persist log
 //! tells us exactly which data version was durable at the crash point,
@@ -35,11 +37,10 @@
 //!
 //! ```
 //! use star_core::SchemeKind;
-//! use star_faultsim::{explore, ExplorePlan, FaultKind, Outcome, SimSetup};
+//! use star_faultsim::{CrashExplorer, FaultKind, Outcome};
 //! use star_workloads::WorkloadKind;
 //!
-//! let plan = ExplorePlan::new(SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 40, 7));
-//! let report = explore(&plan);
+//! let report = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 40, 7).explore();
 //! assert!(report.total_points > 0);
 //! assert_eq!(report.count(Outcome::SilentCorruption), 0);
 //! ```
@@ -52,8 +53,10 @@ pub mod explore;
 pub mod fault;
 pub mod report;
 
-pub use case::{run_case, run_case_traced, CaseResult, CaseTrace, FaultCase, Outcome};
-pub use explore::{explore, persist_schedule, ExplorePlan};
+pub use case::{committed_versions, CaseResult, CaseTrace, FaultCase, ForkPoint, Outcome};
+#[allow(deprecated)]
+pub use explore::{explore, persist_schedule, run_case, run_case_traced, ExplorePlan};
+pub use explore::{CrashExplorer, ExploreStrategy};
 pub use fault::FaultKind;
 pub use report::ExploreReport;
 
@@ -65,8 +68,23 @@ use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
 
+/// The engine configuration exploration uses: the data region covers
+/// the whole 64 MB workload heap, while the metadata cache is kept
+/// small (4 KB) so even short runs produce evictions — and therefore
+/// `NodeWriteback` persist points — worth crashing on.
+pub fn faultsim_config() -> SecureMemConfig {
+    SecureMemConfig::builder()
+        .data_lines(star_workloads::micro::HEAP_BASE + star_workloads::micro::HEAP_LINES)
+        .metadata_cache_bytes(4 << 10)
+        .metadata_cache_ways(4)
+        .adr_bitmap_lines(4)
+        .build()
+        .expect("faultsim geometry is consistent")
+}
+
 /// One simulated run: which scheme and workload, how long, and from
 /// which seed. Equal setups produce bit-identical persist schedules.
+#[deprecated(since = "0.7.0", note = "use `CrashExplorer` instead")]
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimSetup {
     /// Persistence scheme under test.
@@ -81,6 +99,7 @@ pub struct SimSetup {
     pub cfg: SecureMemConfig,
 }
 
+#[allow(deprecated)]
 impl SimSetup {
     /// A setup over the default fault-simulation configuration.
     pub fn new(scheme: SchemeKind, workload: WorkloadKind, ops: usize, seed: u64) -> Self {
@@ -89,22 +108,14 @@ impl SimSetup {
             workload,
             ops,
             seed,
-            cfg: Self::faultsim_config(),
+            cfg: faultsim_config(),
         }
     }
 
-    /// The engine configuration exploration uses: the data region covers
-    /// the whole 64 MB workload heap, while the metadata cache is kept
-    /// small (4 KB) so even short runs produce evictions — and therefore
-    /// `NodeWriteback` persist points — worth crashing on.
+    /// The engine configuration exploration uses (now canonical as the
+    /// free function [`faultsim_config`]).
     pub fn faultsim_config() -> SecureMemConfig {
-        SecureMemConfig::builder()
-            .data_lines(star_workloads::micro::HEAP_BASE + star_workloads::micro::HEAP_LINES)
-            .metadata_cache_bytes(4 << 10)
-            .metadata_cache_ways(4)
-            .adr_bitmap_lines(4)
-            .build()
-            .expect("faultsim geometry is consistent")
+        faultsim_config()
     }
 
     /// Short scheme label used in reports (`wb`/`strict`/`anubis`/`star`).

@@ -24,7 +24,6 @@ use crate::fault::FaultKind;
 use crate::scheme_label;
 use star_core::report::{json_str, schema_preamble};
 use star_core::SchemeKind;
-use star_workloads::WorkloadKind;
 use std::fmt::Write as _;
 
 /// Everything one [`explore`](fn@crate::explore) run produced.
@@ -32,8 +31,10 @@ use std::fmt::Write as _;
 pub struct ExploreReport {
     /// Scheme under test.
     pub scheme: SchemeKind,
-    /// Workload that drove the engine.
-    pub workload: WorkloadKind,
+    /// Label of the workload that drove the engine — a
+    /// [`WorkloadKind`](star_workloads::WorkloadKind) label for named
+    /// workloads, or the caller-supplied label of a factory driver.
+    pub workload: &'static str,
     /// Operations per replay.
     pub ops: usize,
     /// Workload seed.
@@ -118,7 +119,7 @@ impl ExploreReport {
             out,
             "\"scheme\":{},\"workload\":{},\"ops\":{},\"seed\":{},\"fault\":{},",
             json_str(scheme_label(self.scheme)),
-            json_str(self.workload.label()),
+            json_str(self.workload),
             self.ops,
             self.seed,
             json_str(self.fault.label())
@@ -169,7 +170,7 @@ mod tests {
     fn tiny_report() -> ExploreReport {
         ExploreReport {
             scheme: SchemeKind::Star,
-            workload: WorkloadKind::Array,
+            workload: "array",
             ops: 10,
             seed: 1,
             fault: FaultKind::CrashOnly,

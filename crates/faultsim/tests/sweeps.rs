@@ -9,9 +9,7 @@
 
 use star_core::persist::PersistPointKind;
 use star_core::SchemeKind;
-use star_faultsim::{
-    explore, persist_schedule, run_case, ExplorePlan, FaultCase, FaultKind, Outcome, SimSetup,
-};
+use star_faultsim::{CrashExplorer, FaultCase, FaultKind, Outcome};
 use star_workloads::WorkloadKind;
 
 fn is_data_commit(kind: Option<PersistPointKind>) -> bool {
@@ -29,14 +27,9 @@ fn is_node_writeback(kind: Option<PersistPointKind>) -> bool {
 /// parent write-back itself (`NodeWriteback`).
 #[test]
 fn star_exhaustive_sweep_recovers_at_every_persist_point() {
-    let plan = ExplorePlan::new(SimSetup::new(
-        SchemeKind::Star,
-        WorkloadKind::Array,
-        200,
-        42,
-    ))
-    .all_points();
-    let report = explore(&plan);
+    let report = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 200, 42)
+        .all_points()
+        .explore();
 
     assert!(report.exhaustive);
     assert!(
@@ -82,14 +75,9 @@ fn star_exhaustive_sweep_recovers_at_every_persist_point() {
 
 #[test]
 fn anubis_exhaustive_sweep_recovers_everywhere() {
-    let plan = ExplorePlan::new(SimSetup::new(
-        SchemeKind::Anubis,
-        WorkloadKind::Array,
-        60,
-        42,
-    ))
-    .all_points();
-    let report = explore(&plan);
+    let report = CrashExplorer::new(SchemeKind::Anubis, WorkloadKind::Array, 60, 42)
+        .all_points()
+        .explore();
     assert!(report.total_points >= 60);
     for case in &report.cases {
         assert_eq!(
@@ -105,14 +93,9 @@ fn anubis_exhaustive_sweep_recovers_everywhere() {
 
 #[test]
 fn strict_sweep_is_never_silent_and_mid_chain_crashes_are_detected() {
-    let plan = ExplorePlan::new(SimSetup::new(
-        SchemeKind::Strict,
-        WorkloadKind::Array,
-        60,
-        42,
-    ))
-    .all_points();
-    let report = explore(&plan);
+    let report = CrashExplorer::new(SchemeKind::Strict, WorkloadKind::Array, 60, 42)
+        .all_points()
+        .explore();
     assert!(
         report.clean(),
         "strict silently corrupted: {:?}",
@@ -141,14 +124,9 @@ fn strict_sweep_is_never_silent_and_mid_chain_crashes_are_detected() {
 
 #[test]
 fn wb_is_unrecoverable_at_every_point() {
-    let mut plan = ExplorePlan::new(SimSetup::new(
-        SchemeKind::WriteBack,
-        WorkloadKind::Array,
-        40,
-        7,
-    ));
-    plan.max_cases = 24;
-    let report = explore(&plan);
+    let report = CrashExplorer::new(SchemeKind::WriteBack, WorkloadKind::Array, 40, 7)
+        .with_max_cases(24)
+        .explore();
     assert!(!report.cases.is_empty());
     for case in &report.cases {
         assert_eq!(case.outcome, Outcome::Unrecoverable);
@@ -160,11 +138,10 @@ fn wb_is_unrecoverable_at_every_point() {
 #[test]
 fn mac_bit_flips_are_detected_not_recovered() {
     for bit in [0, 5, 63] {
-        let mut plan =
-            ExplorePlan::new(SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 60, 42))
-                .with_fault(FaultKind::FlipMacBit { bit });
-        plan.max_cases = 32;
-        let report = explore(&plan);
+        let report = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 60, 42)
+            .with_fault(FaultKind::FlipMacBit { bit })
+            .with_max_cases(32)
+            .explore();
         assert!(!report.cases.is_empty());
         for case in &report.cases {
             assert_eq!(
@@ -180,10 +157,10 @@ fn mac_bit_flips_are_detected_not_recovered() {
 
 #[test]
 fn counter_bit_flips_are_detected() {
-    let mut plan = ExplorePlan::new(SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 60, 42))
-        .with_fault(FaultKind::FlipCounterBit { bit: 17 });
-    plan.max_cases = 32;
-    let report = explore(&plan);
+    let report = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 60, 42)
+        .with_fault(FaultKind::FlipCounterBit { bit: 17 })
+        .with_max_cases(32)
+        .explore();
     assert!(!report.cases.is_empty());
     for case in &report.cases {
         assert_eq!(
@@ -202,11 +179,10 @@ fn counter_bit_flips_are_detected() {
 #[test]
 fn torn_and_dropped_writes_are_never_silent_under_star() {
     for fault in [FaultKind::TornWrite, FaultKind::DropWpq { max_entries: 8 }] {
-        let mut plan =
-            ExplorePlan::new(SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 60, 42))
-                .with_fault(fault);
-        plan.max_cases = 32;
-        let report = explore(&plan);
+        let report = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 60, 42)
+            .with_fault(fault)
+            .with_max_cases(32)
+            .explore();
         assert!(
             report.clean(),
             "{fault} silently corrupted: {:?}",
@@ -223,9 +199,11 @@ fn torn_and_dropped_writes_are_never_silent_under_star() {
 /// must recover: the flush is its own persist transaction.
 #[test]
 fn forced_flush_crash_points_recover() {
-    let mut setup = SimSetup::new(SchemeKind::Star, WorkloadKind::Queue, 120, 42);
-    setup.cfg.counter_lsb_bits = 2; // 3-increment window: flushes happen fast
-    let schedule = persist_schedule(&setup);
+    let mut cfg = star_faultsim::faultsim_config();
+    cfg.counter_lsb_bits = 2; // 3-increment window: flushes happen fast
+    let explorer =
+        CrashExplorer::new(SchemeKind::Star, WorkloadKind::Queue, 120, 42).with_config(cfg);
+    let schedule = explorer.schedule();
     let flush_points: Vec<u64> = schedule
         .iter()
         .filter(|p| matches!(p.kind, PersistPointKind::ForcedFlush { .. }))
@@ -236,7 +214,7 @@ fn forced_flush_crash_points_recover() {
         "a 2-bit window must force flushes"
     );
     for &seq in flush_points.iter().take(5) {
-        let result = run_case(&setup, &FaultCase::crash_only(seq));
+        let result = explorer.run_case(&FaultCase::crash_only(seq));
         assert_eq!(
             result.outcome,
             Outcome::Recovered,
@@ -248,10 +226,10 @@ fn forced_flush_crash_points_recover() {
 
 #[test]
 fn exploration_is_deterministic_and_reports_are_machine_readable() {
-    let mut plan = ExplorePlan::new(SimSetup::new(SchemeKind::Star, WorkloadKind::Btree, 30, 9));
-    plan.max_cases = 16;
-    let a = explore(&plan);
-    let b = explore(&plan);
+    let explorer =
+        CrashExplorer::new(SchemeKind::Star, WorkloadKind::Btree, 30, 9).with_max_cases(16);
+    let a = explorer.explore();
+    let b = explorer.explore();
     assert_eq!(a, b, "same plan, same report, bit for bit");
 
     let json = a.to_json();
@@ -267,13 +245,12 @@ fn exploration_is_deterministic_and_reports_are_machine_readable() {
 /// the plan, regardless of how many worker threads replay the cases.
 #[test]
 fn parallel_exploration_is_byte_identical_across_thread_counts() {
-    let plan =
-        ExplorePlan::new(SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 60, 42)).all_points();
-    let serial = explore(&plan.clone().with_threads(1));
+    let explorer = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 60, 42).all_points();
+    let serial = explorer.clone().with_threads(1).explore();
     assert!(serial.total_points > 8, "sweep must be big enough to shard");
     let serial_json = serial.to_json();
     for threads in [2, 4] {
-        let parallel = explore(&plan.clone().with_threads(threads));
+        let parallel = explorer.clone().with_threads(threads).explore();
         assert_eq!(parallel, serial, "{threads} threads: same report");
         assert_eq!(
             parallel.to_json(),
@@ -286,8 +263,8 @@ fn parallel_exploration_is_byte_identical_across_thread_counts() {
 /// Crashing past the end of the schedule is reported, not misclassified.
 #[test]
 fn crash_beyond_schedule_is_not_reached() {
-    let setup = SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 10, 1);
-    let total = persist_schedule(&setup).len() as u64;
-    let result = run_case(&setup, &FaultCase::crash_only(total + 1_000));
+    let explorer = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 10, 1);
+    let total = explorer.schedule().len() as u64;
+    let result = explorer.run_case(&FaultCase::crash_only(total + 1_000));
     assert_eq!(result.outcome, Outcome::NotReached);
 }

@@ -6,6 +6,8 @@
 //! cache's set/way organization (§III-E) — so set membership and
 //! within-set ordering must be first-class here.
 
+use core::ops::Range;
+
 /// A line evicted to make room for an insertion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Evicted<V> {
@@ -37,6 +39,13 @@ struct Way<V> {
 /// `addr % num_sets`, matching the line-interleaved indexing of the
 /// modeled caches.
 ///
+/// Storage is one flat slot array (set-major, `ways` slots per set,
+/// resident ways packed at the front of their set in LRU→MRU order).
+/// The contiguous layout is deliberate: cloning a populated cache — the
+/// inner loop of the fork-based crash explorer, which checkpoints a
+/// whole machine per crash case — is a handful of allocation-free
+/// `memcpy`s instead of one heap allocation per non-empty set.
+///
 /// ```
 /// use star_mem::SetAssocCache;
 /// let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 2);
@@ -47,7 +56,12 @@ struct Way<V> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<V> {
-    sets: Vec<Vec<Way<V>>>,
+    /// `num_sets * ways` slots; set `s` owns `[s*ways, (s+1)*ways)`.
+    /// Invariant: within a set, slots `[0, len)` are `Some` in LRU→MRU
+    /// order and slots `[len, ways)` are `None`.
+    slots: Vec<Option<Way<V>>>,
+    /// Resident ways per set.
+    lens: Vec<u32>,
     ways: usize,
 }
 
@@ -61,14 +75,15 @@ impl<V> SetAssocCache<V> {
         assert!(num_sets > 0, "cache needs at least one set");
         assert!(ways > 0, "cache needs at least one way");
         Self {
-            sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(),
+            slots: (0..num_sets * ways).map(|_| None).collect(),
+            lens: vec![0; num_sets],
             ways,
         }
     }
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.lens.len()
     }
 
     /// Associativity.
@@ -78,52 +93,61 @@ impl<V> SetAssocCache<V> {
 
     /// Total capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.ways
+        self.slots.len()
     }
 
     /// Lines currently resident.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(Vec::is_empty)
+        self.lens.iter().all(|&l| l == 0)
     }
 
     /// The set index `addr` maps to.
     pub fn set_of(&self, addr: u64) -> usize {
-        (addr % self.sets.len() as u64) as usize
+        (addr % self.lens.len() as u64) as usize
+    }
+
+    /// The occupied slot range of set `s`.
+    fn range(&self, s: usize) -> Range<usize> {
+        let base = s * self.ways;
+        base..base + self.lens[s] as usize
+    }
+
+    fn way(&self, slot: usize) -> &Way<V> {
+        self.slots[slot].as_ref().expect("occupied slot")
+    }
+
+    /// The slot holding `addr`, if resident.
+    fn slot_of(&self, addr: u64) -> Option<usize> {
+        self.range(self.set_of(addr))
+            .find(|&i| self.way(i).addr == addr)
     }
 
     /// True if `addr` is resident (no recency update).
     pub fn contains(&self, addr: u64) -> bool {
-        self.sets[self.set_of(addr)].iter().any(|w| w.addr == addr)
+        self.slot_of(addr).is_some()
     }
 
     /// True if `addr` is resident and dirty (no recency update).
     pub fn is_dirty(&self, addr: u64) -> bool {
-        self.sets[self.set_of(addr)]
-            .iter()
-            .any(|w| w.addr == addr && w.dirty)
+        self.slot_of(addr).is_some_and(|i| self.way(i).dirty)
     }
 
     /// Looks up `addr` without updating recency or dirtiness.
     pub fn peek(&self, addr: u64) -> Option<&V> {
-        self.sets[self.set_of(addr)]
-            .iter()
-            .find(|w| w.addr == addr)
-            .map(|w| &w.value)
+        self.slot_of(addr).map(|i| &self.way(i).value)
     }
 
     /// Looks up `addr`, marking it most-recently-used.
     pub fn get_mut(&mut self, addr: u64) -> Option<&mut V> {
-        let set_idx = self.set_of(addr);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|w| w.addr == addr)?;
-        let way = set.remove(pos);
-        set.push(way);
-        Some(&mut set.last_mut().expect("just pushed").value)
+        let pos = self.slot_of(addr)?;
+        let end = self.range(self.set_of(addr)).end;
+        self.slots[pos..end].rotate_left(1);
+        Some(&mut self.slots[end - 1].as_mut().expect("occupied slot").value)
     }
 
     /// Touches `addr` (recency only). Returns true if it was resident.
@@ -135,34 +159,41 @@ impl<V> SetAssocCache<V> {
     ///
     /// If `addr` is already resident its value and dirtiness are replaced.
     pub fn insert(&mut self, addr: u64, value: V, dirty: bool) -> InsertOutcome<V> {
-        let set_idx = self.set_of(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|w| w.addr == addr) {
-            let mut way = set.remove(pos);
-            way.value = value;
-            way.dirty = dirty;
-            set.push(way);
+        let set = self.set_of(addr);
+        if let Some(pos) = self.slot_of(addr) {
+            let end = self.range(set).end;
+            {
+                let way = self.slots[pos].as_mut().expect("occupied slot");
+                way.value = value;
+                way.dirty = dirty;
+            }
+            self.slots[pos..end].rotate_left(1);
             return InsertOutcome { evicted: None };
         }
-        let evicted = if set.len() >= self.ways {
-            let victim = set.remove(0);
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        let evicted = if len >= self.ways {
+            let victim = self.slots[base].take().expect("occupied slot");
+            self.slots[base..base + self.ways].rotate_left(1);
             Some(Evicted {
                 addr: victim.addr,
                 dirty: victim.dirty,
                 value: victim.value,
             })
         } else {
+            self.lens[set] = len as u32 + 1;
             None
         };
-        set.push(Way { addr, dirty, value });
+        let mru = base + self.lens[set] as usize - 1;
+        self.slots[mru] = Some(Way { addr, dirty, value });
         InsertOutcome { evicted }
     }
 
     /// Sets the dirty bit of a resident line. Returns the previous dirty
     /// state, or `None` if absent. Does not update recency.
     pub fn set_dirty(&mut self, addr: u64, dirty: bool) -> Option<bool> {
-        let set_idx = self.set_of(addr);
-        let way = self.sets[set_idx].iter_mut().find(|w| w.addr == addr)?;
+        let pos = self.slot_of(addr)?;
+        let way = self.slots[pos].as_mut().expect("occupied slot");
         let was = way.dirty;
         way.dirty = dirty;
         Some(was)
@@ -170,18 +201,21 @@ impl<V> SetAssocCache<V> {
 
     /// Removes `addr`, returning its payload and dirtiness.
     pub fn remove(&mut self, addr: u64) -> Option<(V, bool)> {
-        let set_idx = self.set_of(addr);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|w| w.addr == addr)?;
-        let way = set.remove(pos);
+        let pos = self.slot_of(addr)?;
+        let set = self.set_of(addr);
+        let end = self.range(set).end;
+        let way = self.slots[pos].take().expect("occupied slot");
+        self.slots[pos..end].rotate_left(1);
+        self.lens[set] -= 1;
         Some((way.value, way.dirty))
     }
 
     /// The LRU victim of the set `addr` maps to, if that set is full.
     pub fn victim_for(&self, addr: u64) -> Option<(u64, bool)> {
-        let set = &self.sets[self.set_of(addr)];
-        if set.len() >= self.ways {
-            set.first().map(|w| (w.addr, w.dirty))
+        let set = self.set_of(addr);
+        if (self.lens[set] as usize) >= self.ways {
+            let lru = self.way(set * self.ways);
+            Some((lru.addr, lru.dirty))
         } else {
             None
         }
@@ -189,7 +223,7 @@ impl<V> SetAssocCache<V> {
 
     /// Iterates over `(addr, dirty, &value)` of every resident line.
     pub fn iter(&self) -> impl Iterator<Item = (u64, bool, &V)> {
-        self.sets
+        self.slots
             .iter()
             .flatten()
             .map(|w| (w.addr, w.dirty, &w.value))
@@ -198,19 +232,20 @@ impl<V> SetAssocCache<V> {
     /// Iterates over `(addr, dirty, &value)` in one set (recency order,
     /// LRU first).
     pub fn iter_set(&self, set_index: usize) -> impl Iterator<Item = (u64, bool, &V)> {
-        self.sets[set_index]
-            .iter()
-            .map(|w| (w.addr, w.dirty, &w.value))
+        self.slots[self.range(set_index)].iter().map(|slot| {
+            let w = slot.as_ref().expect("occupied slot");
+            (w.addr, w.dirty, &w.value)
+        })
     }
 
     /// Number of dirty resident lines.
     pub fn dirty_count(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.dirty).count()
+        self.slots.iter().flatten().filter(|w| w.dirty).count()
     }
 
     /// Addresses of all dirty resident lines.
     pub fn dirty_addrs(&self) -> Vec<u64> {
-        self.sets
+        self.slots
             .iter()
             .flatten()
             .filter(|w| w.dirty)
@@ -220,12 +255,13 @@ impl<V> SetAssocCache<V> {
 
     /// Removes every line, returning `(addr, dirty, value)` triples.
     pub fn drain_all(&mut self) -> Vec<(u64, bool, V)> {
-        let mut out = Vec::new();
-        for set in &mut self.sets {
-            for w in set.drain(..) {
-                out.push((w.addr, w.dirty, w.value));
-            }
-        }
+        let out = self
+            .slots
+            .iter_mut()
+            .filter_map(|slot| slot.take())
+            .map(|w| (w.addr, w.dirty, w.value))
+            .collect();
+        self.lens.fill(0);
         out
     }
 }
@@ -314,6 +350,32 @@ mod tests {
         let drained = c.drain_all();
         assert_eq!(drained.len(), 4);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_of_mid_set_line_keeps_lru_order() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 3);
+        c.insert(1, 1, false);
+        c.insert(2, 2, false);
+        c.insert(3, 3, false);
+        c.insert(2, 20, false); // 2 becomes MRU; order is now 1, 3, 2
+        let order: Vec<u64> = c.iter_set(0).map(|(a, _, _)| a).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+        assert_eq!(c.insert(4, 4, false).evicted.unwrap().addr, 1);
+    }
+
+    #[test]
+    fn remove_mid_set_preserves_order_and_capacity() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 3);
+        c.insert(1, 1, false);
+        c.insert(2, 2, true);
+        c.insert(3, 3, false);
+        assert_eq!(c.remove(2), Some((2, true)));
+        assert_eq!(c.len(), 2);
+        let order: Vec<u64> = c.iter_set(0).map(|(a, _, _)| a).collect();
+        assert_eq!(order, vec![1, 3]);
+        c.insert(4, 4, false);
+        assert!(c.insert(5, 5, false).evicted.is_some(), "set is full again");
     }
 
     #[test]

@@ -208,6 +208,18 @@ impl NvmDevice {
         &mut self.store
     }
 
+    /// Returns an independent copy-on-write fork of the device.
+    ///
+    /// The backing [`LineStore`] is frozen and shared structurally (see
+    /// [`LineStore::fork`]); every other field — bank state, write queue,
+    /// stats, wear, profiler, journal, trace buffer — is small and cloned
+    /// outright, so the fork costs `O(dirty-delta)` in line copies rather
+    /// than `O(footprint)`.
+    pub fn fork(&mut self) -> Self {
+        self.store.freeze();
+        self.clone()
+    }
+
     fn bank_of(&self, addr: LineAddr) -> usize {
         (addr.index() % self.cfg.banks as u64) as usize
     }

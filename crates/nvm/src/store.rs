@@ -2,6 +2,7 @@
 
 use crate::LINE_BYTES;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A 64-byte memory line — the granularity of every access in the model
 /// (user data, counter blocks, SIT nodes, bitmap lines are all one line).
@@ -112,13 +113,32 @@ impl From<u64> for LineAddr {
     }
 }
 
-/// A sparse store of 64-byte lines.
+/// Frozen-layer count above which [`LineStore::freeze`] compacts the
+/// layer stack back into a single map, bounding worst-case read cost at
+/// `MAX_LAYERS + 1` hash lookups while keeping compaction cost amortized
+/// `O(footprint / MAX_LAYERS)` per freeze.
+const MAX_LAYERS: usize = 64;
+
+/// A sparse, copy-on-write store of 64-byte lines.
 ///
 /// NVM starts zeroed; only written lines consume host memory, which lets
 /// the model keep the full 16 GB geometry of the paper's system.
+///
+/// Internally the store is a stack of immutable, reference-counted
+/// *layers* (oldest first) plus one private mutable *delta*. Reads probe
+/// the delta, then the layers newest-to-oldest; writes always land in the
+/// delta. [`LineStore::fork`] freezes the delta into a shared layer and
+/// clones the stack, so a fork costs `O(dirty-delta)` — lines written
+/// since the last freeze — rather than `O(footprint)`, and all frozen
+/// lines are structurally shared between the fork and its parent. This is
+/// what makes whole-engine snapshots cheap enough to take at every
+/// persist point during crash-schedule exploration.
 #[derive(Debug, Default, Clone)]
 pub struct LineStore {
-    lines: HashMap<LineAddr, Line>,
+    /// Immutable shared layers, oldest first; newer layers shadow older.
+    layers: Vec<Arc<HashMap<LineAddr, Line>>>,
+    /// Private mutable overlay holding writes since the last freeze.
+    delta: HashMap<LineAddr, Line>,
 }
 
 impl LineStore {
@@ -129,24 +149,106 @@ impl LineStore {
 
     /// Reads the line at `addr` (zero if never written).
     pub fn read(&self, addr: LineAddr) -> Line {
-        self.lines.get(&addr).copied().unwrap_or_default()
+        if let Some(line) = self.delta.get(&addr) {
+            return *line;
+        }
+        for layer in self.layers.iter().rev() {
+            if let Some(line) = layer.get(&addr) {
+                return *line;
+            }
+        }
+        Line::ZERO
     }
 
     /// Writes `line` at `addr`.
     pub fn write(&mut self, addr: LineAddr, line: Line) {
         // Writing an explicit zero line still has to be remembered — the
         // previous content may have been non-zero.
-        self.lines.insert(addr, line);
+        self.delta.insert(addr, line);
     }
 
-    /// Number of lines that have ever been written.
+    /// Freezes the private delta into a new shared immutable layer, so a
+    /// subsequent `Clone` is `O(dirty-delta)` and shares every frozen
+    /// line with the parent. Compacts the layer stack once it exceeds
+    /// `MAX_LAYERS` to keep reads bounded.
+    pub fn freeze(&mut self) {
+        if !self.delta.is_empty() {
+            let delta = std::mem::take(&mut self.delta);
+            self.layers.push(Arc::new(delta));
+        }
+        if self.layers.len() > MAX_LAYERS {
+            self.compact();
+        }
+    }
+
+    /// Merges all frozen layers into a single layer (newest wins).
+    fn compact(&mut self) {
+        let mut merged: HashMap<LineAddr, Line> = HashMap::new();
+        for layer in &self.layers {
+            for (addr, line) in layer.iter() {
+                merged.insert(*addr, *line);
+            }
+        }
+        self.layers = vec![Arc::new(merged)];
+    }
+
+    /// Freezes the delta and returns an independent copy-on-write fork.
+    ///
+    /// The fork and `self` share every frozen layer by reference; only
+    /// lines written after the fork diverge.
+    pub fn fork(&mut self) -> Self {
+        self.freeze();
+        self.clone()
+    }
+
+    /// Number of distinct lines that have ever been written.
     pub fn footprint_lines(&self) -> usize {
-        self.lines.len()
+        if self.layers.is_empty() {
+            return self.delta.len();
+        }
+        let mut seen: std::collections::HashSet<LineAddr> = self.delta.keys().copied().collect();
+        for layer in &self.layers {
+            seen.extend(layer.keys().copied());
+        }
+        seen.len()
     }
 
-    /// Iterates over all written lines.
-    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &Line)> {
-        self.lines.iter().map(|(a, l)| (*a, l))
+    /// Iterates over all written lines (newest version of each).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, Line)> + '_ {
+        let mut seen: std::collections::HashSet<LineAddr> = std::collections::HashSet::new();
+        self.delta
+            .iter()
+            .map(|(a, l)| (*a, *l))
+            .chain(
+                self.layers
+                    .iter()
+                    .rev()
+                    .flat_map(|layer| layer.iter().map(|(a, l)| (*a, *l))),
+            )
+            .filter(move |(a, _)| seen.insert(*a))
+    }
+
+    /// Number of lines in the private mutable delta (the only part of
+    /// the store a `Clone` copies line-by-line). Right after
+    /// [`LineStore::fork`] this is zero on both sides.
+    pub fn delta_lines(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Number of frozen shared layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of lines in frozen layers that are structurally shared
+    /// (same reference-counted allocation) with `other`. Used to prove
+    /// that forking shares rather than copies the footprint.
+    pub fn shared_lines_with(&self, other: &Self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| other.layers.iter().any(|o| Arc::ptr_eq(l, o)))
+            .map(|l| l.len())
+            .sum()
     }
 }
 
@@ -190,5 +292,69 @@ mod tests {
     fn line_debug_is_never_empty() {
         assert!(!format!("{:?}", Line::ZERO).is_empty());
         assert!(!format!("{:?}", Line::filled(3)).is_empty());
+    }
+
+    #[test]
+    fn fork_shares_frozen_lines_and_diverges_on_write() {
+        let mut store = LineStore::new();
+        for i in 0..1000 {
+            store.write(LineAddr::new(i), Line::filled((i % 251) as u8));
+        }
+        let mut fork = store.fork();
+        // The frozen footprint is shared by reference, not copied.
+        assert_eq!(store.delta_lines(), 0);
+        assert_eq!(fork.delta_lines(), 0);
+        assert_eq!(fork.shared_lines_with(&store), 1000);
+        // Writes after the fork are private to each side.
+        fork.write(LineAddr::new(3), Line::filled(0xee));
+        store.write(LineAddr::new(4), Line::filled(0xdd));
+        assert_eq!(fork.read(LineAddr::new(3)), Line::filled(0xee));
+        assert_eq!(store.read(LineAddr::new(3)), Line::filled(3));
+        assert_eq!(store.read(LineAddr::new(4)), Line::filled(0xdd));
+        assert_eq!(fork.read(LineAddr::new(4)), Line::filled(4));
+        // Fork cost is the dirty delta, not the footprint.
+        assert_eq!(fork.delta_lines(), 1);
+        assert_eq!(store.delta_lines(), 1);
+        assert_eq!(store.footprint_lines(), 1000);
+        assert_eq!(fork.footprint_lines(), 1000);
+    }
+
+    #[test]
+    fn layered_reads_are_newest_wins() {
+        let mut store = LineStore::new();
+        store.write(LineAddr::new(7), Line::filled(1));
+        store.freeze();
+        store.write(LineAddr::new(7), Line::filled(2));
+        store.freeze();
+        store.write(LineAddr::new(7), Line::filled(3));
+        assert_eq!(store.read(LineAddr::new(7)), Line::filled(3));
+        assert_eq!(store.footprint_lines(), 1);
+        let collected: Vec<_> = store.iter().collect();
+        assert_eq!(collected, vec![(LineAddr::new(7), Line::filled(3))]);
+    }
+
+    #[test]
+    fn repeated_freezes_compact_and_stay_correct() {
+        let mut store = LineStore::new();
+        for round in 0..(MAX_LAYERS as u64 + 20) {
+            store.write(LineAddr::new(round % 10), Line::filled((round + 1) as u8));
+            store.freeze();
+        }
+        assert!(
+            store.layer_count() <= MAX_LAYERS + 1,
+            "compaction bounds layers"
+        );
+        assert_eq!(store.footprint_lines(), 10);
+        // Line 3 was last written on round 83 (83 % 10 == 3) with fill 84.
+        assert_eq!(store.read(LineAddr::new(3)), Line::filled(84));
+    }
+
+    #[test]
+    fn empty_freeze_adds_no_layer() {
+        let mut store = LineStore::new();
+        store.freeze();
+        assert_eq!(store.layer_count(), 0);
+        let fork = store.fork();
+        assert_eq!(fork.layer_count(), 0);
     }
 }

@@ -4,7 +4,7 @@
 use crate::scenario::ServeScheme;
 use star_core::triad::{TriadConfig, TriadMemory};
 use star_core::{
-    recover, DowntimeSpan, RecoveryError, RunReport, SecureMemConfig, SecureMemory,
+    recover, DowntimeSpan, Instrumented, RecoveryError, RunReport, SecureMemConfig, SecureMemory,
     NS_PER_LINE_ACCESS,
 };
 use star_nvm::WearSummary;

@@ -102,29 +102,45 @@ impl Log2Hist {
 
     /// The value at quantile `q` (clamped to `(0, 1]`): the inclusive
     /// lower bound of the bucket holding the rank-`⌈q·count⌉` smallest
-    /// sample. Returns 0 on an empty histogram.
+    /// sample. Returns 0 on an empty histogram; the top of the
+    /// distribution (rank = count) returns the recorded [`max`](Self::max)
+    /// exactly.
     ///
     /// Exactness bound (property-tested): a result `r > 0` brackets the
     /// true order statistic `x` as `r <= x < 2r`; a result of 0 means
     /// the true order statistic is exactly 0. Equivalently, the result
     /// always lands in the same bucket as the exact quantile, so log2
     /// percentiles (p50/p99/p999) are never off by more than one octave.
-    /// (Samples ≥ 2^63 saturate into the top bucket, where only the
-    /// lower bound `r <= x` holds.)
+    /// The saturating top bucket (all samples ≥ 2^62, with no upper
+    /// neighbour to bound it) instead reports the recorded max — an
+    /// *upper* bound `x <= r`, never an understatement, which is the
+    /// dangerous direction for a tail-latency figure.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The largest sample is recorded exactly; the top of the
+        // distribution never needs a bucket approximation.
+        if rank == self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Self::bucket_floor(b);
+                // Values ≥ 2^63 all collapse into bucket 63, so its
+                // floor (2^62) can understate a saturated tail by an
+                // unbounded factor; clamp to the recorded max instead.
+                return if b == 63 {
+                    self.max
+                } else {
+                    Self::bucket_floor(b)
+                };
             }
         }
-        Self::bucket_floor(63)
+        self.max
     }
 }
 
@@ -183,6 +199,22 @@ mod tests {
                 let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
                 let exact = samples[rank - 1];
                 let got = h.quantile(q);
+                if rank == n {
+                    // The top of the distribution is the recorded max,
+                    // exactly.
+                    assert_eq!(got, exact, "trial {trial} q={q}: rank=count must be max");
+                    continue;
+                }
+                if Log2Hist::bucket_of(exact) == 63 {
+                    // The saturating top bucket reports the max: an
+                    // upper bound, never an understatement.
+                    assert_eq!(got, h.max(), "trial {trial} q={q}");
+                    assert!(
+                        got >= exact,
+                        "trial {trial} q={q}: {got} understates {exact}"
+                    );
+                    continue;
+                }
                 assert_eq!(
                     Log2Hist::bucket_of(got),
                     Log2Hist::bucket_of(exact),
@@ -206,12 +238,38 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         let mut h = Log2Hist::new();
         h.observe(7);
-        assert_eq!(h.quantile(0.0), 4);
-        assert_eq!(h.quantile(1.0), 4);
+        // A single sample is its own max at every quantile.
+        assert_eq!(h.quantile(0.0), 7);
+        assert_eq!(h.quantile(1.0), 7);
         h.observe(1000);
-        // Rank-1 of two samples at q=0.5, rank-2 at q=1.0.
+        // Rank-1 of two samples at q=0.5 (bucket floor of 7), the exact
+        // max at q=1.0.
         assert_eq!(h.quantile(0.5), 4);
-        assert_eq!(h.quantile(1.0), 512);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    /// Regression: quantiles landing in the saturating top bucket must
+    /// not be understated. `bucket_floor(63)` = 2^62, four times below
+    /// the `u64::MAX` samples actually recorded.
+    #[test]
+    fn top_bucket_quantiles_clamp_to_max() {
+        let mut h = Log2Hist::new();
+        for _ in 0..1000 {
+            h.observe(u64::MAX);
+        }
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(0.999), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+
+        // Mixed tail: p50 stays in its own (exact-bracket) bucket, the
+        // tail quantiles report the recorded max rather than 2^62.
+        let mut h = Log2Hist::new();
+        for _ in 0..99 {
+            h.observe(100);
+        }
+        h.observe(1u64 << 63);
+        assert_eq!(h.quantile(0.5), 64);
+        assert_eq!(h.quantile(1.0), 1u64 << 63);
     }
 
     #[test]

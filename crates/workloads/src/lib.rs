@@ -50,10 +50,31 @@ use star_mem::TraceSink;
 /// `Send` is a supertrait so a boxed workload can move into a worker
 /// thread of the parallel sweep runner (`star-sweep`) together with the
 /// engine it drives.
+///
+/// The unit of progress is one [`step`](Workload::step);
+/// [`run`](Workload::run) is `ops` steps by definition (the provided
+/// method). Crash-schedule exploration relies on this: it checkpoints a
+/// run *between* steps with [`fork_box`](Workload::fork_box) and
+/// re-executes single steps against forked engines, which is only
+/// equivalent to a replay because `run` cannot do anything a sequence of
+/// `step`s would not.
 pub trait Workload: Send {
     /// Short name, as the paper's figures label it.
     fn name(&self) -> &'static str;
 
+    /// Executes one operation against `sink`.
+    fn step(&mut self, sink: &mut dyn TraceSink);
+
     /// Executes `ops` operations against `sink`.
-    fn run(&mut self, ops: usize, sink: &mut dyn TraceSink);
+    fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
+        for _ in 0..ops {
+            self.step(sink);
+        }
+    }
+
+    /// An independent copy of the workload in its exact current state
+    /// (RNG position, allocator, in-memory structures), boxed so trait
+    /// objects can be checkpointed. Stepping the fork and the original
+    /// produces identical reference streams.
+    fn fork_box(&self) -> Box<dyn Workload>;
 }

@@ -61,16 +61,18 @@ impl Workload for ArrayWorkload {
         "array"
     }
 
-    fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
-        for _ in 0..ops {
-            let idx = self.rng.gen_range(0..self.lines);
-            let line = self.base + idx;
-            self.pmem.work(sink, 800);
-            self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 8);
-            self.pmem.load(sink, line);
-            self.pmem.store_persist(sink, line);
-            self.pmem.fence(sink);
-        }
+    fn step(&mut self, sink: &mut dyn TraceSink) {
+        let idx = self.rng.gen_range(0..self.lines);
+        let line = self.base + idx;
+        self.pmem.work(sink, 800);
+        self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 8);
+        self.pmem.load(sink, line);
+        self.pmem.store_persist(sink, line);
+        self.pmem.fence(sink);
+    }
+
+    fn fork_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 }
 

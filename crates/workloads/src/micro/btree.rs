@@ -167,13 +167,15 @@ impl Workload for BtreeWorkload {
         "btree"
     }
 
-    fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
-        for _ in 0..ops {
-            let key: u64 = self.rng.gen_u64();
-            self.pmem.work(sink, 700);
-            self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 4);
-            self.insert(sink, key);
-        }
+    fn step(&mut self, sink: &mut dyn TraceSink) {
+        let key: u64 = self.rng.gen_u64();
+        self.pmem.work(sink, 700);
+        self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 4);
+        self.insert(sink, key);
+    }
+
+    fn fork_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 }
 

@@ -61,44 +61,47 @@ impl Workload for HashWorkload {
         "hash"
     }
 
-    fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
-        for _ in 0..ops {
-            let key: u64 = self.rng.gen_u64();
-            let b = key % self.buckets;
-            let bucket_line = self.bucket_base + b;
-            self.pmem.work(sink, 1000);
-            self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 8);
-            // Probe: read the bucket and walk any overflow chain.
-            self.pmem.load(sink, bucket_line);
-            if let Some(chain) = self.chains.get(&b) {
-                for &line in chain {
-                    self.pmem.load(sink, line);
-                }
+    fn step(&mut self, sink: &mut dyn TraceSink) {
+        let key: u64 = self.rng.gen_u64();
+        let b = key % self.buckets;
+        let bucket_line = self.bucket_base + b;
+        self.pmem.work(sink, 1000);
+        self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 8);
+        // Probe: read the bucket and walk any overflow chain.
+        self.pmem.load(sink, bucket_line);
+        if let Some(chain) = self.chains.get(&b) {
+            for &line in chain {
+                self.pmem.load(sink, line);
             }
-            let count = self.fill.entry(b).or_insert(0);
-            if *count < SLOTS_PER_BUCKET {
-                *count += 1;
-                self.pmem.store_persist(sink, bucket_line);
-            } else {
-                // Overflow: allocate (or reuse the newest) chain line and
-                // link it from the bucket header.
-                let needs_new = self.chains.get(&b).is_none_or(|c| {
-                    c.len() as u32 * SLOTS_PER_BUCKET < *count - SLOTS_PER_BUCKET + 1
-                });
-                let line = if needs_new {
-                    let line = self.pmem.alloc(1);
-                    self.chains.entry(b).or_default().push(line);
-                    line
-                } else {
-                    *self.chains[&b].last().expect("chain exists")
-                };
-                *self.fill.get_mut(&b).expect("present") += 1;
-                self.pmem.store_persist(sink, line);
-                self.pmem.fence(sink);
-                self.pmem.store_persist(sink, bucket_line);
-            }
-            self.pmem.fence(sink);
         }
+        let count = self.fill.entry(b).or_insert(0);
+        if *count < SLOTS_PER_BUCKET {
+            *count += 1;
+            self.pmem.store_persist(sink, bucket_line);
+        } else {
+            // Overflow: allocate (or reuse the newest) chain line and
+            // link it from the bucket header.
+            let needs_new = self
+                .chains
+                .get(&b)
+                .is_none_or(|c| c.len() as u32 * SLOTS_PER_BUCKET < *count - SLOTS_PER_BUCKET + 1);
+            let line = if needs_new {
+                let line = self.pmem.alloc(1);
+                self.chains.entry(b).or_default().push(line);
+                line
+            } else {
+                *self.chains[&b].last().expect("chain exists")
+            };
+            *self.fill.get_mut(&b).expect("present") += 1;
+            self.pmem.store_persist(sink, line);
+            self.pmem.fence(sink);
+            self.pmem.store_persist(sink, bucket_line);
+        }
+        self.pmem.fence(sink);
+    }
+
+    fn fork_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 }
 

@@ -83,16 +83,18 @@ impl Workload for QueueWorkload {
         "queue"
     }
 
-    fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
-        for _ in 0..ops {
-            self.pmem.work(sink, 300);
-            self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 3);
-            if self.rng.gen_bool(0.7) || self.is_empty() {
-                self.enqueue(sink);
-            } else {
-                self.dequeue(sink);
-            }
+    fn step(&mut self, sink: &mut dyn TraceSink) {
+        self.pmem.work(sink, 300);
+        self.volatile.churn(&mut self.pmem, sink, &mut self.rng, 3);
+        if self.rng.gen_bool(0.7) || self.is_empty() {
+            self.enqueue(sink);
+        } else {
+            self.dequeue(sink);
         }
+    }
+
+    fn fork_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 }
 

@@ -53,6 +53,9 @@ pub struct MultiThreaded {
     instances: Vec<Box<dyn Workload>>,
     /// Operations executed per burst before rotating to the next thread.
     burst: usize,
+    /// Next thread to take a single [`Workload::step`] (step-wise
+    /// round-robin cursor; `run` uses its own burst schedule instead).
+    cursor: usize,
 }
 
 impl core::fmt::Debug for MultiThreaded {
@@ -80,6 +83,7 @@ impl MultiThreaded {
                 .map(|t| kind.instantiate(seed.wrapping_add(t as u64 * 0x9e37)))
                 .collect(),
             burst: 4,
+            cursor: 0,
         }
     }
 
@@ -97,6 +101,34 @@ impl MultiThreaded {
 impl Workload for MultiThreaded {
     fn name(&self) -> &'static str {
         self.kind.label()
+    }
+
+    /// One operation from the next thread in rotation.
+    ///
+    /// Note the divergence from [`run`](Workload::run), which keeps its
+    /// burst-of-4 schedule *dependent on the total op count* (each
+    /// thread runs `ops/threads` operations): `MultiThreaded` is a bench
+    /// composition, not a crash-exploration workload, so `run` is NOT a
+    /// loop of `step` here.
+    fn step(&mut self, sink: &mut dyn TraceSink) {
+        let t = self.cursor;
+        self.cursor = (self.cursor + 1) % self.instances.len();
+        let mut buffer = VecSink::new();
+        self.instances[t].step(&mut buffer);
+        let mut shifted = OffsetSink {
+            base: Self::partition_base(t),
+            inner: sink,
+        };
+        shifted.on_events(&buffer.events);
+    }
+
+    fn fork_box(&self) -> Box<dyn Workload> {
+        Box::new(MultiThreaded {
+            kind: self.kind,
+            instances: self.instances.iter().map(|w| w.fork_box()).collect(),
+            burst: self.burst,
+            cursor: self.cursor,
+        })
     }
 
     fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {

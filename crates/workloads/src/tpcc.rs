@@ -111,14 +111,16 @@ impl Workload for TpccWorkload {
         "tpcc"
     }
 
-    fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
-        for _ in 0..ops {
-            if self.rng.gen_bool(0.9) {
-                self.new_order(sink);
-            } else {
-                self.payment(sink);
-            }
+    fn step(&mut self, sink: &mut dyn TraceSink) {
+        if self.rng.gen_bool(0.9) {
+            self.new_order(sink);
+        } else {
+            self.payment(sink);
         }
+    }
+
+    fn fork_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 }
 

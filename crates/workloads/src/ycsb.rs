@@ -78,18 +78,20 @@ impl Workload for YcsbWorkload {
         "ycsb"
     }
 
-    fn run(&mut self, ops: usize, sink: &mut dyn TraceSink) {
-        for _ in 0..ops {
-            let key = self.zipf.sample(&mut self.rng);
-            // Scramble so hot keys are not physically adjacent (YCSB
-            // hashes keys), while staying deterministic.
-            let key = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) % KEYS;
-            if self.rng.gen_bool(0.5) {
-                self.read_op(sink, key);
-            } else {
-                self.update_op(sink, key);
-            }
+    fn step(&mut self, sink: &mut dyn TraceSink) {
+        let key = self.zipf.sample(&mut self.rng);
+        // Scramble so hot keys are not physically adjacent (YCSB
+        // hashes keys), while staying deterministic.
+        let key = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) % KEYS;
+        if self.rng.gen_bool(0.5) {
+            self.read_op(sink, key);
+        } else {
+            self.update_op(sink, key);
         }
+    }
+
+    fn fork_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 }
 

@@ -21,14 +21,14 @@ use star::core::persist::PersistPointKind;
 use star::core::SchemeKind;
 use star::metadata::SitGeometry;
 use star::workloads::WorkloadKind;
-use star_faultsim::{persist_schedule, run_case, FaultCase, FaultKind, Outcome, SimSetup};
+use star_faultsim::{CrashExplorer, FaultCase, FaultKind, Outcome};
 
 fn main() {
-    let setup = SimSetup::new(SchemeKind::Star, WorkloadKind::Array, 200, 42);
-    let geometry = SitGeometry::new(setup.cfg.data_lines);
+    let explorer = CrashExplorer::new(SchemeKind::Star, WorkloadKind::Array, 200, 42);
+    let geometry = SitGeometry::new(explorer.config().data_lines);
 
     // 1. The persist schedule: every durable transition, numbered.
-    let schedule = persist_schedule(&setup);
+    let schedule = explorer.schedule();
     println!(
         "persist schedule: {} points for 200 array ops",
         schedule.len()
@@ -58,7 +58,7 @@ fn main() {
         "\ncrash at #{} ({:?}): data durable, parent node not yet written back",
         window.seq, window.kind
     );
-    let result = run_case(&setup, &FaultCase::crash_only(window.seq));
+    let result = explorer.run_case(&FaultCase::crash_only(window.seq));
     println!("  outcome: {} — {}", result.outcome.label(), result.detail);
     assert_eq!(result.outcome, Outcome::Recovered);
 
@@ -69,7 +69,7 @@ fn main() {
         fault: FaultKind::FlipMacBit { bit: 5 },
     };
     println!("\nsame crash, plus one flipped MAC bit");
-    let result = run_case(&setup, &tampered);
+    let result = explorer.run_case(&tampered);
     println!("  outcome: {} — {}", result.outcome.label(), result.detail);
     assert_eq!(result.outcome, Outcome::DetectedTamper);
 

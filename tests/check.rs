@@ -4,7 +4,7 @@
 //! violation rather than a silent pass.
 
 use star_check::{
-    check_program, generate, run_check, shrink_ops, CheckConfig, CrashPlan, GenConfig, Op, Program,
+    check_program, generate, run_check, shrink_ops, CheckConfig, CrashSpec, GenConfig, Op, Program,
 };
 
 #[test]
@@ -61,7 +61,7 @@ fn hand_written_boundary_program_checks_clean() {
             .build()
             .expect("valid geometry"),
         ops,
-        CrashPlan::Frac(950),
+        CrashSpec::Frac(950),
     );
     let violations = check_program(&program);
     assert!(violations.is_empty(), "{violations:?}");

@@ -16,7 +16,7 @@
 //! REGEN_GOLDEN=1 cargo test --test report_schema
 //! ```
 
-use star::core::{SchemeKind, SecureMemConfig, SecureMemory, SCHEMA_VERSION};
+use star::core::{Instrumented, SchemeKind, SecureMemConfig, SecureMemory, SCHEMA_VERSION};
 use star::prof::JsonValue;
 use star::serve::{run_grid, standard_scenarios, ServeConfig};
 
