@@ -8,13 +8,17 @@
 //! and [`check`] diffs a fresh run against a committed
 //! `bench/baseline.json` with per-metric relative thresholds, turning
 //! the bench trajectory into a CI gate: more than +5 % write traffic or
-//! energy, −5 % IPC, or +10 % recovery time fails the build.
+//! energy, −5 % IPC, or +10 % recovery time fails the build. Wall-clock
+//! measurements — the fork-vs-replay crash sweep (`--sweep-bench`) and
+//! the star-shard scaling run (`--shard-bench`) — are gated by absolute
+//! speedup floors pinned in the committed baseline instead.
 //!
 //! Everything here is a pure function of `(ops, seed)`: cells run
 //! through `star_sweep::run_merged`, so the report is byte-identical
 //! across `--jobs` counts and across repeated runs.
 
 use crate::harness::{run_and_crash, run_scheme, ExperimentConfig};
+use crate::shardbench::{ShardBench, ShardScaleRow};
 use crate::sweepbench::SweepBench;
 use star_core::report::{json_f64, json_str, schema_preamble};
 use star_core::triad::{TriadConfig, TriadMemory};
@@ -94,6 +98,14 @@ pub struct BaselineReport {
     /// Minimum fork-over-replay speedup the committed baseline demands
     /// of a `--sweep-bench` run; `None` leaves the sweep ungated.
     pub min_sweep_speedup: Option<f64>,
+    /// The star-shard scaling measurement (`--shard-bench`), serialized
+    /// under `"shard_scaling"`.
+    pub shard: Option<ShardBench>,
+    /// Minimum 2-shard-over-1-shard wall-clock speedup the committed
+    /// baseline demands of a `--shard-bench` run.
+    pub min_shard_speedup_2: Option<f64>,
+    /// Minimum 4-shard-over-1-shard wall-clock speedup.
+    pub min_shard_speedup_4: Option<f64>,
 }
 
 /// The engine schemes in the grid, in row order.
@@ -193,6 +205,9 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
         rows,
         sweep: None,
         min_sweep_speedup: None,
+        shard: None,
+        min_shard_speedup_2: None,
+        min_shard_speedup_4: None,
     }
 }
 
@@ -237,6 +252,32 @@ impl BaselineReport {
                     out.push(',');
                 }
                 let _ = write!(out, "\"min_speedup\":{}", json_f64(floor));
+            }
+            out.push('}');
+        }
+        if self.shard.is_some()
+            || self.min_shard_speedup_2.is_some()
+            || self.min_shard_speedup_4.is_some()
+        {
+            out.push_str(",\"shard_scaling\":{");
+            let mut first = true;
+            if let Some(shard) = &self.shard {
+                let body = shard.to_json();
+                // Splice the measured fields in without their braces.
+                out.push_str(&body[1..body.len() - 1]);
+                first = false;
+            }
+            for (name, floor) in [
+                ("min_speedup_2shard", self.min_shard_speedup_2),
+                ("min_speedup_4shard", self.min_shard_speedup_4),
+            ] {
+                if let Some(floor) = floor {
+                    if !first {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{name}\":{}", json_f64(floor));
+                    first = false;
+                }
             }
             out.push('}');
         }
@@ -326,12 +367,60 @@ impl BaselineReport {
                 });
             }
         }
+        let mut shard = None;
+        let mut min_shard_speedup_2 = None;
+        let mut min_shard_speedup_4 = None;
+        if let Some(obj) = doc.get("shard_scaling") {
+            min_shard_speedup_2 = obj.get("min_speedup_2shard").and_then(JsonValue::as_f64);
+            min_shard_speedup_4 = obj.get("min_speedup_4shard").and_then(JsonValue::as_f64);
+            // The measured fields travel together; "rows" marks their
+            // presence (a committed baseline carries only the floors).
+            if let Some(scale_rows) = obj.get("rows").and_then(JsonValue::as_arr) {
+                let text_field = |name: &str| {
+                    obj.get(name)
+                        .and_then(JsonValue::as_str)
+                        .map(String::from)
+                        .ok_or_else(|| format!("shard_scaling missing string field {name:?}"))
+                };
+                let int_field = |name: &str| {
+                    obj.get(name)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("shard_scaling missing integer field {name:?}"))
+                };
+                let mut parsed_rows = Vec::with_capacity(scale_rows.len());
+                for row in scale_rows {
+                    let num = |name: &str| {
+                        row.get(name).and_then(JsonValue::as_f64).ok_or_else(|| {
+                            format!("shard_scaling row missing number field {name:?}")
+                        })
+                    };
+                    parsed_rows.push(ShardScaleRow {
+                        shards: row
+                            .get("shards")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or("shard_scaling row missing integer field \"shards\"")?,
+                        wall_ms: num("wall_ms")?,
+                        speedup: num("speedup")?,
+                    });
+                }
+                shard = Some(ShardBench {
+                    workload: text_field("workload")?,
+                    scheme: text_field("scheme")?,
+                    lanes: int_field("lanes")?,
+                    ops_per_lane: int_field("ops_per_lane")?,
+                    rows: parsed_rows,
+                });
+            }
+        }
         Ok(BaselineReport {
             ops,
             seed,
             rows,
             sweep,
             min_sweep_speedup,
+            shard,
+            min_shard_speedup_2,
+            min_shard_speedup_4,
         })
     }
 }
@@ -457,6 +546,38 @@ pub fn check(current: &BaselineReport, baseline: &BaselineReport) -> Result<Chec
             ));
         }
     }
+    // The shard-scaling gate works the same way: pinned absolute floors
+    // (wall clocks are machine-dependent), and a pinned floor makes the
+    // measurement mandatory.
+    let shard_floors = [
+        (2u64, baseline.min_shard_speedup_2),
+        (4u64, baseline.min_shard_speedup_4),
+    ];
+    if shard_floors.iter().any(|(_, f)| f.is_some()) {
+        let Some(shard) = &current.shard else {
+            return Err(
+                "baseline pins shard_scaling speedup floors, but the current run carries no \
+                 scaling measurement — re-run with --shard-bench"
+                    .into(),
+            );
+        };
+        for (shards, floor) in shard_floors {
+            let Some(floor) = floor else { continue };
+            let Some(speedup) = shard.speedup_at(shards) else {
+                return Err(format!(
+                    "baseline pins a {shards}-shard speedup floor, but the current \
+                     shard_scaling measurement has no {shards}-shard row"
+                ));
+            };
+            if speedup < floor {
+                out.regressions.push(format!(
+                    "shard_scaling {shards}-shard speedup: {speedup:.2}x < required {floor}x \
+                     ({} lanes x {} ops)",
+                    shard.lanes, shard.ops_per_lane
+                ));
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -578,6 +699,66 @@ mod tests {
         let verdict = check(&slow, &baseline).expect("same grid");
         assert!(!verdict.passed());
         assert!(verdict.regressions[0].contains("crash_sweep_fork"));
+    }
+
+    fn sample_shard() -> ShardBench {
+        ShardBench {
+            workload: "ycsb".into(),
+            scheme: "star".into(),
+            lanes: 8,
+            ops_per_lane: 2000,
+            rows: [(1u64, 80.0), (2, 44.0), (4, 25.0), (8, 16.0)]
+                .into_iter()
+                .map(|(shards, wall_ms)| ShardScaleRow {
+                    shards,
+                    wall_ms,
+                    speedup: 80.0 / wall_ms,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shard_fields_roundtrip_through_json() {
+        let mut report = run_baseline(&tiny());
+        report.shard = Some(sample_shard());
+        report.min_shard_speedup_2 = Some(1.4);
+        report.min_shard_speedup_4 = Some(2.0);
+        let parsed = BaselineReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+        // The committed-baseline shape — floors with no measurement —
+        // roundtrips too.
+        report.shard = None;
+        let parsed = BaselineReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn shard_floors_gate_the_scaling_speedups() {
+        let mut baseline = run_baseline(&tiny());
+        baseline.min_shard_speedup_2 = Some(1.4);
+        baseline.min_shard_speedup_4 = Some(2.0);
+        // Pinned floors make the measurement mandatory.
+        let bare = run_baseline(&tiny());
+        assert!(check(&bare, &baseline).is_err());
+        let mut fast = bare.clone();
+        fast.shard = Some(sample_shard());
+        assert!(check(&fast, &baseline).expect("same grid").passed());
+        // A 4-shard run that stopped scaling fails only the 4-shard
+        // floor.
+        let mut flat = bare.clone();
+        let mut shard = sample_shard();
+        shard.rows[2].speedup = 1.5;
+        flat.shard = Some(shard);
+        let verdict = check(&flat, &baseline).expect("same grid");
+        assert_eq!(verdict.regressions.len(), 1, "{:?}", verdict.regressions);
+        assert!(verdict.regressions[0].contains("4-shard"));
+        // A measurement missing the gated shard count is a hard error.
+        let mut short = bare.clone();
+        let mut shard = sample_shard();
+        shard.rows.truncate(2);
+        short.shard = Some(shard);
+        assert!(check(&short, &baseline).is_err());
     }
 
     #[test]

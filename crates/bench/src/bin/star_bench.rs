@@ -3,10 +3,13 @@
 //! ```text
 //! star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE]
 //!                     [--check FILE] [--sweep-bench] [--sweep-ops N]
+//!                     [--shard-bench] [--shard-ops N]
 //! star-bench check    [--cases N] [--seed S] [--threads T] [--ops-max N]
 //!                     [--json FILE] [--repro FILE]
 //! star-bench serve    [--horizon-s N] [--rate R] [--seed S] [--threads T]
-//!                     [--data-mb M] [--json FILE]
+//!                     [--data-mb M] [--shards N] [--json FILE]
+//! star-bench shard    [--lanes L] [--shards S] [--threads T] [--ops N]
+//!                     [--epoch-ops K] [--seed S] [--json FILE]
 //! ```
 //!
 //! `baseline` runs the canonical reduced scheme grid ((array, ycsb) ×
@@ -19,7 +22,11 @@
 //! times an exhaustive star/ckpt crash sweep under the fork and replay
 //! strategies (asserting byte-identical reports) and records the
 //! speedup under `"crash_sweep_fork"`; a `min_speedup` floor pinned in
-//! the committed baseline makes that measurement a gate.
+//! the committed baseline makes that measurement a gate. `--shard-bench`
+//! likewise times the 8-lane star-shard run at 1/2/4/8 worker shards
+//! (asserting byte-identical reports) and records the scaling rows
+//! under `"shard_scaling"`, gated by the baseline's
+//! `min_speedup_2shard` / `min_speedup_4shard` floors.
 //!
 //! `check` is the property-based differential checker (`star-check`):
 //! `--cases N` seeded random programs run through every scheme engine
@@ -32,7 +39,17 @@
 //! (the four engine schemes plus Triad) through the standard steady /
 //! diurnal / burst scenarios, each with two mid-stream power failures,
 //! and prints per-cell p50/p99/p999 latency, goodput, and
-//! unavailability. `--json FILE` writes the schema-v5 `serve` document.
+//! unavailability. `--json FILE` writes the schema-v6 `serve` document.
+//! With `--shards N` it runs the sharded backend instead: the hot-shard
+//! and skew-place scenarios over `N` lanes, per-lane queues and
+//! downtime ledgers, emitted as the `serve-shard` document.
+//!
+//! `shard` runs the star-shard engine grid: every engine scheme over
+//! `--lanes` lane-partitioned metadata domains, `--ops` operations per
+//! lane in `--epoch-ops` epochs, grouped onto `--shards` worker threads
+//! with scheme cells dispatched over `--threads`. The `shard` document
+//! is byte-identical at any `--shards`/`--threads` setting — CI `cmp`s
+//! a 1-shard run against a 4-shard run.
 //!
 //! Output of all subcommands is byte-identical for any `--jobs` /
 //! `--threads` value, so CI can compare artifacts across runners. To
@@ -41,20 +58,25 @@
 //! moved the numbers.
 
 use star_bench::baseline::{check, run_baseline, BaselineConfig, BaselineReport};
+use star_bench::shardbench::{run_shard_bench, SHARD_BENCH_OPS};
 use star_bench::sweepbench::{run_sweep_bench, SWEEP_BENCH_OPS};
 use star_check::{run_check, CheckConfig, Program};
-use star_core::SecureMemConfig;
-use star_serve::{run_grid, standard_scenarios_at, ServeConfig};
+use star_core::{SchemeKind, SecureMemConfig};
+use star_serve::{run_grid, run_sharded_grid, shard_scenarios, standard_scenarios_at, ServeConfig};
+use star_shard::{run_shard_grid, ShardSpec};
+use star_workloads::WorkloadKind;
 use std::io::Read as _;
 
 fn usage() -> ! {
     eprintln!(
         "usage: star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE] [--check FILE] \
-         [--sweep-bench] [--sweep-ops N]\n\
+         [--sweep-bench] [--sweep-ops N] [--shard-bench] [--shard-ops N]\n\
          \x20      star-bench check [--cases N] [--seed S] [--threads T] [--ops-max N] \
          [--json FILE] [--repro FILE]\n\
          \x20      star-bench serve [--horizon-s N] [--rate R] [--seed S] [--threads T] \
-         [--data-mb M] [--json FILE]"
+         [--data-mb M] [--shards N] [--json FILE]\n\
+         \x20      star-bench shard [--lanes L] [--shards S] [--threads T] [--ops N] \
+         [--epoch-ops K] [--seed S] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -65,7 +87,64 @@ fn main() {
         Some("baseline") => baseline_cmd(&args[1..]),
         Some("check") => check_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("shard") => shard_cmd(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn shard_cmd(args: &[String]) {
+    let mut spec = ShardSpec::new(SchemeKind::Star, WorkloadKind::Ycsb);
+    let mut threads: usize = 1;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--lanes" => {
+                spec.lanes = value(args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--shards" => {
+                spec.shards = value(args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => threads = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--ops" => {
+                spec.ops_per_lane = value(args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--epoch-ops" => {
+                spec.epoch_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => spec.seed = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--json" => json_path = Some(value(args, &mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    const SCHEMES: [SchemeKind; 4] = [
+        SchemeKind::WriteBack,
+        SchemeKind::Strict,
+        SchemeKind::Anubis,
+        SchemeKind::Star,
+    ];
+    eprintln!(
+        "shard: {} lanes x {} ops (epoch {}), seed {}, {} shard(s), {} thread(s)...",
+        spec.lanes, spec.ops_per_lane, spec.epoch_ops, spec.seed, spec.shards, threads
+    );
+    let grid = run_shard_grid(&spec, &SCHEMES, threads);
+    print!("{}", grid.summary_table());
+    if let Some(path) = json_path {
+        let json = grid.to_json();
+        if path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        } else {
+            eprintln!("wrote JSON report to {path}");
+        }
     }
 }
 
@@ -75,6 +154,7 @@ fn serve_cmd(args: &[String]) {
     let mut seed: u64 = 42;
     let mut threads: usize = 1;
     let mut data_mb: u64 = 256;
+    let mut shards: usize = 0;
     let mut json_path: Option<String> = None;
     let mut i = 0;
     let value = |args: &[String], i: &mut usize| -> String {
@@ -88,6 +168,7 @@ fn serve_cmd(args: &[String]) {
             "--seed" => seed = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--data-mb" => data_mb = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--shards" => shards = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--json" => json_path = Some(value(args, &mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -106,15 +187,7 @@ fn serve_cmd(args: &[String]) {
             }),
         threads,
     };
-    let scenarios = standard_scenarios_at(&cfg, rate);
-    eprintln!(
-        "serve: {horizon_s} s horizon, {rate} req/s base, {data_mb} MB data, seed {seed}, \
-         {threads} thread(s)..."
-    );
-    let grid = run_grid(&cfg, &scenarios);
-    print!("{}", grid.to_table());
-    if let Some(path) = json_path {
-        let json = grid.to_json();
+    let write_json = |json: String, path: String| {
         if path == "-" {
             println!("{json}");
         } else if let Err(e) = std::fs::write(&path, json) {
@@ -123,6 +196,29 @@ fn serve_cmd(args: &[String]) {
         } else {
             eprintln!("wrote JSON report to {path}");
         }
+    };
+    if shards > 0 {
+        let scenarios = shard_scenarios(&cfg, shards, rate);
+        eprintln!(
+            "serve: {horizon_s} s horizon, {rate} req/s base, {data_mb} MB data per lane, \
+             seed {seed}, {shards} lane(s), {threads} thread(s)..."
+        );
+        let grid = run_sharded_grid(&cfg, &scenarios);
+        print!("{}", grid.to_table());
+        if let Some(path) = json_path {
+            write_json(grid.to_json(), path);
+        }
+        return;
+    }
+    let scenarios = standard_scenarios_at(&cfg, rate);
+    eprintln!(
+        "serve: {horizon_s} s horizon, {rate} req/s base, {data_mb} MB data, seed {seed}, \
+         {threads} thread(s)..."
+    );
+    let grid = run_grid(&cfg, &scenarios);
+    print!("{}", grid.to_table());
+    if let Some(path) = json_path {
+        write_json(grid.to_json(), path);
     }
 }
 
@@ -216,6 +312,8 @@ fn baseline_cmd(args: &[String]) {
     };
     let mut sweep_bench = false;
     let mut sweep_ops = SWEEP_BENCH_OPS;
+    let mut shard_bench = false;
+    let mut shard_ops = SHARD_BENCH_OPS;
     while i < args.len() {
         match args[i].as_str() {
             "--ops" => cfg.ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
@@ -225,6 +323,8 @@ fn baseline_cmd(args: &[String]) {
             "--check" => check_path = Some(value(args, &mut i)),
             "--sweep-bench" => sweep_bench = true,
             "--sweep-ops" => sweep_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--shard-bench" => shard_bench = true,
+            "--shard-ops" => shard_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -245,6 +345,20 @@ fn baseline_cmd(args: &[String]) {
             sweep.points, sweep.fork_ms, sweep.replay_ms, sweep.speedup
         );
         report.sweep = Some(sweep);
+    }
+
+    if shard_bench {
+        eprintln!(
+            "shard_scaling: 8-lane star/ycsb run ({shard_ops} ops per lane) at 1/2/4/8 shards..."
+        );
+        let shard = run_shard_bench(shard_ops, cfg.seed);
+        for row in &shard.rows {
+            println!(
+                "shard_scaling: {} shard(s), {:.1} ms -> {:.2}x",
+                row.shards, row.wall_ms, row.speedup
+            );
+        }
+        report.shard = Some(shard);
     }
 
     println!(

@@ -14,8 +14,13 @@ pub mod experiments;
 pub mod harness;
 pub mod microbench;
 pub mod paper;
+pub mod shardbench;
 pub mod sweepbench;
 
 pub use baseline::{check, run_baseline, BaselineConfig, BaselineReport, CheckReport};
 pub use harness::{run_scheme, run_scheme_traced, CrashOutcome, ExperimentConfig, RunTrace};
+pub use shardbench::{
+    run_shard_bench, ShardBench, ShardScaleRow, SHARD_BENCH_COUNTS, SHARD_BENCH_LANES,
+    SHARD_BENCH_OPS,
+};
 pub use sweepbench::{run_sweep_bench, sweep_explorer, CkptWorkload, SweepBench, SWEEP_BENCH_OPS};

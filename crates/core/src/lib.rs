@@ -44,6 +44,7 @@ pub mod osiris;
 pub mod persist;
 pub mod recovery;
 pub mod report;
+pub mod shard;
 pub mod star;
 pub mod stats;
 pub mod triad;

@@ -27,8 +27,15 @@
 //! `star-bench baseline`;
 //! schema 5 added the `"serve"` document kind (star-serve service
 //! grids: per-scheme/per-tenant latency quantiles, goodput, downtime
-//! spans and unavailability — see `star_serve::report`). The shapes of
-//! the existing kinds are unchanged; only the version number moved.
+//! spans and unavailability — see `star_serve::report`);
+//! schema 6 added the `"shard"` document kind (star-shard: lane-keyed
+//! sharded runs with per-shard report sections, an epoch-tagged persist
+//! log and cross-shard merged totals), the `"serve-shard"` kind
+//! (star-serve's sharded backend: per-shard request/downtime ledgers
+//! under each cell), and widened the faultsim explore report's
+//! `"workload"` from a fixed registry label to a free-form string so
+//! factory-driven sweeps can carry dynamic shard/tenant labels. The
+//! shapes of the other existing kinds are unchanged.
 
 use crate::config::SchemeKind;
 use crate::stats::RunReport;
@@ -41,7 +48,7 @@ use std::fmt::Write as _;
 pub use star_trace::{json_f64, json_str, TracePart};
 
 /// Version of the JSON report schema this build emits.
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// The standard report preamble: `"schema_version":N,"kind":"...",`
 /// (trailing comma included), shared by every report type.

@@ -158,6 +158,16 @@ pub struct BitmapStats {
 }
 
 impl BitmapStats {
+    /// Merges `other`'s counters into `self` (cross-shard aggregation of
+    /// per-shard bitmaps).
+    pub fn absorb(&mut self, other: &BitmapStats) {
+        self.accesses += other.accesses;
+        self.adr_hits += other.adr_hits;
+        self.adr_misses += other.adr_misses;
+        self.ra_writes += other.ra_writes;
+        self.ra_reads += other.ra_reads;
+    }
+
     /// The ADR hit ratio (paper Table II).
     pub fn hit_ratio(&self) -> f64 {
         if self.accesses == 0 {

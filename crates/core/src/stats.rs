@@ -102,6 +102,69 @@ impl RunReport {
             self.dirty_metadata as f64 / self.cached_metadata as f64
         }
     }
+
+    /// Merges `other` into `self` — the cross-shard aggregation behind a
+    /// sharded run's merged totals. Counters, energy, wear, the prof
+    /// matrices and cache statistics add; derived rates (IPC, wear mean /
+    /// concentration) are recomputed over the union, so the merge of N
+    /// per-shard reports reads exactly like one report covering all N
+    /// devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemes differ — a merged report must describe one
+    /// scheme, not an average of different ones.
+    pub fn absorb(&mut self, other: &RunReport) {
+        assert_eq!(
+            self.scheme, other.scheme,
+            "cannot merge reports from different schemes"
+        );
+        self.nvm.merge(&other.nvm);
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.ipc = if self.cycles > 0.0 {
+            self.instructions as f64 / self.cycles
+        } else {
+            0.0
+        };
+        self.energy_read_pj += other.energy_read_pj;
+        self.energy_write_pj += other.energy_write_pj;
+        self.wear.absorb(&other.wear);
+        self.prof.absorb(&other.prof);
+        self.bitmap = match (self.bitmap, other.bitmap) {
+            (Some(mut a), Some(b)) => {
+                a.absorb(&b);
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
+        self.dirty_metadata += other.dirty_metadata;
+        self.cached_metadata += other.cached_metadata;
+        self.metadata_cache_capacity += other.metadata_cache_capacity;
+        self.forced_flushes += other.forced_flushes;
+        self.barriers += other.barriers;
+        self.mac_computations += other.mac_computations;
+        self.hierarchy.absorb(&other.hierarchy);
+    }
+}
+
+/// Folds per-shard reports into one machine-wide report (see
+/// [`RunReport::absorb`]). The fold is a left-to-right reduction over a
+/// commutative merge, so the result is independent of how the shards
+/// were grouped onto workers.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty or mixes schemes.
+pub fn merge_reports(reports: &[RunReport]) -> RunReport {
+    let (first, rest) = reports
+        .split_first()
+        .expect("merge_reports needs at least one report");
+    let mut merged = first.clone();
+    for r in rest {
+        merged.absorb(r);
+    }
+    merged
 }
 
 #[cfg(test)]

@@ -57,7 +57,11 @@ pub enum ExploreStrategy {
 enum Driver {
     Kind(WorkloadKind),
     Factory {
-        label: &'static str,
+        /// Free-form report label — an owned `String`, so parameterized
+        /// sweeps (per-shard, per-tenant, per-config factories) can
+        /// carry labels built at runtime instead of flattening them
+        /// into a lossy `&'static str`.
+        label: String,
         make: Arc<dyn Fn() -> Box<dyn Workload> + Send + Sync>,
     },
 }
@@ -123,17 +127,21 @@ impl CrashExplorer {
     /// `ops` steps under `cfg`. This is how `star-check` runs its
     /// programs through the shared crash machinery, and how the sweep
     /// bench drives workloads outside the paper's registry; `label`
-    /// stands in for the workload name in reports.
+    /// stands in for the workload name in reports and may be built at
+    /// runtime (e.g. `format!("shard{i}")` for a parameterized sweep).
     pub fn with_workload_factory(
         scheme: SchemeKind,
         cfg: SecureMemConfig,
-        label: &'static str,
+        label: impl Into<String>,
         ops: usize,
         make: Arc<dyn Fn() -> Box<dyn Workload> + Send + Sync>,
     ) -> Self {
         Self {
             scheme,
-            driver: Driver::Factory { label, make },
+            driver: Driver::Factory {
+                label: label.into(),
+                make,
+            },
             ops,
             seed: 0,
             cfg,
@@ -214,7 +222,7 @@ impl CrashExplorer {
         }
     }
 
-    fn workload_label(&self) -> &'static str {
+    fn workload_label(&self) -> &str {
         match &self.driver {
             Driver::Kind(kind) => kind.label(),
             Driver::Factory { label, .. } => label,
@@ -224,7 +232,15 @@ impl CrashExplorer {
     fn key(&self, seq: u64) -> SweepKey {
         SweepKey {
             rank: seq,
-            workload: self.workload_label(),
+            // `SweepKey.workload` is a `&'static str`; a factory's
+            // dynamic label cannot live there, and does not need to —
+            // `rank`/`case` already make every key unique and keys
+            // never surface in reports (the report carries the real
+            // label via `workload_label`).
+            workload: match &self.driver {
+                Driver::Kind(kind) => kind.label(),
+                Driver::Factory { .. } => "factory",
+            },
             scheme: self.scheme.label(),
             seed: self.seed,
             case: seq,
@@ -540,7 +556,7 @@ impl CrashExplorer {
     fn report(&self, total_points: u64, cases: Vec<CaseResult>) -> ExploreReport {
         ExploreReport {
             scheme: self.scheme,
-            workload: self.workload_label(),
+            workload: self.workload_label().to_string(),
             ops: self.ops,
             seed: self.seed,
             fault: self.fault,
@@ -726,6 +742,27 @@ mod tests {
             assert_eq!(point.crash.seq, seq);
             assert!(point.ops_completed.is_some());
         }
+    }
+
+    /// Factory sweeps carry runtime-built labels end to end: through
+    /// `workload_label`, into the report struct, and out in the JSON —
+    /// the label plumbing parameterized (per-shard, per-tenant) sweeps
+    /// rely on.
+    #[test]
+    fn factory_sweeps_carry_dynamic_labels_into_reports() {
+        let shard = 3;
+        let explorer = CrashExplorer::with_workload_factory(
+            SchemeKind::Star,
+            faultsim_config(),
+            format!("shard{shard}/array"),
+            24,
+            Arc::new(|| WorkloadKind::Array.instantiate(3)),
+        )
+        .all_points();
+        let report = explorer.explore();
+        assert_eq!(report.workload, "shard3/array");
+        assert!(report.to_json().contains("\"workload\":\"shard3/array\""));
+        assert!(report.summary_table().contains("workload=shard3/array"));
     }
 
     #[test]

@@ -33,8 +33,9 @@ pub struct ExploreReport {
     pub scheme: SchemeKind,
     /// Label of the workload that drove the engine — a
     /// [`WorkloadKind`](star_workloads::WorkloadKind) label for named
-    /// workloads, or the caller-supplied label of a factory driver.
-    pub workload: &'static str,
+    /// workloads, or the caller-supplied (possibly runtime-built, e.g.
+    /// per-shard or per-tenant) label of a factory driver.
+    pub workload: String,
     /// Operations per replay.
     pub ops: usize,
     /// Workload seed.
@@ -119,7 +120,7 @@ impl ExploreReport {
             out,
             "\"scheme\":{},\"workload\":{},\"ops\":{},\"seed\":{},\"fault\":{},",
             json_str(scheme_label(self.scheme)),
-            json_str(self.workload),
+            json_str(&self.workload),
             self.ops,
             self.seed,
             json_str(self.fault.label())
@@ -170,7 +171,7 @@ mod tests {
     fn tiny_report() -> ExploreReport {
         ExploreReport {
             scheme: SchemeKind::Star,
-            workload: "array",
+            workload: "array".into(),
             ops: 10,
             seed: 1,
             fault: FaultKind::CrashOnly,

@@ -95,6 +95,18 @@ pub struct HierarchyStats {
     pub writebacks: u64,
 }
 
+impl HierarchyStats {
+    /// Merges `other`'s counters into `self` (cross-shard aggregation of
+    /// per-shard hierarchies).
+    pub fn absorb(&mut self, other: &HierarchyStats) {
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.l3_hits += other.l3_hits;
+        self.llc_misses += other.llc_misses;
+        self.writebacks += other.writebacks;
+    }
+}
+
 /// The cache hierarchy. Payload is the content version of the line so the
 /// write-back stream carries distinguishable data.
 #[derive(Debug, Clone)]

@@ -33,6 +33,29 @@ pub struct WearSummary {
     pub concentration: f64,
 }
 
+impl WearSummary {
+    /// Merges `other` into `self`, treating the two distributions as
+    /// covering **disjoint** line populations (true for sharded engines,
+    /// where each shard owns its own device): touched lines and totals
+    /// add, the max is the max of maxes, and the derived mean /
+    /// concentration are recomputed over the union.
+    pub fn absorb(&mut self, other: &WearSummary) {
+        self.lines_touched += other.lines_touched;
+        self.total_writes += other.total_writes;
+        self.max_writes = self.max_writes.max(other.max_writes);
+        self.mean_writes = if self.lines_touched == 0 {
+            0.0
+        } else {
+            self.total_writes as f64 / self.lines_touched as f64
+        };
+        self.concentration = if self.mean_writes == 0.0 {
+            0.0
+        } else {
+            self.max_writes as f64 / self.mean_writes
+        };
+    }
+}
+
 impl WearTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {

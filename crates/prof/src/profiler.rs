@@ -166,6 +166,46 @@ pub struct ProfSummary {
     pub wpq_depth_hist: Vec<(u64, u64)>,
 }
 
+/// Merges sorted `(key, count)` pair lists by key, keeping ascending
+/// order — the shape every histogram-ish `ProfSummary` field uses.
+fn merge_pairs<K: Ord + Copy>(a: &mut Vec<(K, u64)>, b: &[(K, u64)]) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&(ka, ca)), Some(&(kb, cb))) if ka == kb => {
+                out.push((ka, ca + cb));
+                i += 1;
+                j += 1;
+            }
+            (Some(&(ka, ca)), Some(&(kb, _))) if ka < kb => {
+                out.push((ka, ca));
+                i += 1;
+            }
+            (Some(_), Some(&(kb, cb))) => {
+                out.push((kb, cb));
+                j += 1;
+            }
+            (Some(&(ka, ca)), None) => {
+                out.push((ka, ca));
+                i += 1;
+            }
+            (None, Some(&(kb, cb))) => {
+                out.push((kb, cb));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    *a = out;
+}
+
+/// Halves a windowed series' resolution: adjacent windows merge pairwise,
+/// exactly like [`WriteProfiler::record_write`]'s doubling step.
+fn double_windows(samples: &mut Vec<u64>) {
+    *samples = samples.chunks(2).map(|c| c.iter().sum()).collect();
+}
+
 fn pairs_json(pairs: &[(u64, u64)]) -> String {
     let mut out = String::from("[");
     for (i, (a, b)) in pairs.iter().enumerate() {
@@ -211,6 +251,61 @@ impl ProfSummary {
     /// `(label, count)` pairs in stable cause order.
     pub fn by_cause(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         CAUSE_LABELS.into_iter().zip(self.causes.iter().copied())
+    }
+
+    /// Merges `other` into `self` — the cross-shard aggregation a
+    /// sharded run's merged report is built from. Counts and matrices
+    /// add elementwise; the windowed time series are first aligned to
+    /// the coarser window width via the same pairwise doubling the
+    /// profiler itself uses, so the merged series is exactly what one
+    /// profiler at that width would have recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries disagree on `write_pj` (they came
+    /// from devices with different energy models — merging their
+    /// `energy_by_cause` would be meaningless) or if the window widths
+    /// are not power-of-two multiples of each other (impossible for
+    /// profilers that started from the same configured width).
+    pub fn absorb(&mut self, other: &ProfSummary) {
+        assert_eq!(
+            self.write_pj, other.write_pj,
+            "cannot merge profiles from devices with different energy models"
+        );
+        for (a, b) in self.causes.iter_mut().zip(other.causes.iter()) {
+            *a += b;
+        }
+        merge_pairs(&mut self.bmt_levels, &other.bmt_levels);
+        if self.bank_writes.len() < other.bank_writes.len() {
+            self.bank_writes.resize(other.bank_writes.len(), 0);
+        }
+        for (a, b) in self.bank_writes.iter_mut().zip(other.bank_writes.iter()) {
+            *a += b;
+        }
+        merge_pairs(&mut self.line_wear_hist, &other.line_wear_hist);
+        let mut theirs = other.window_samples.clone();
+        let mut their_us = other.window_us.max(1);
+        self.window_us = self.window_us.max(1);
+        while self.window_us < their_us {
+            double_windows(&mut self.window_samples);
+            self.window_us *= 2;
+        }
+        while their_us < self.window_us {
+            double_windows(&mut theirs);
+            their_us *= 2;
+        }
+        assert_eq!(
+            self.window_us, their_us,
+            "window widths must be power-of-two multiples of each other"
+        );
+        if self.window_samples.len() < theirs.len() {
+            self.window_samples.resize(theirs.len(), 0);
+        }
+        for (a, b) in self.window_samples.iter_mut().zip(theirs.iter()) {
+            *a += b;
+        }
+        merge_pairs(&mut self.write_stall_hist, &other.write_stall_hist);
+        merge_pairs(&mut self.wpq_depth_hist, &other.wpq_depth_hist);
     }
 
     /// The summary as a deterministic JSON object (the report's `"prof"`
@@ -413,6 +508,46 @@ mod tests {
         assert!(csv.contains("cause,ra-spill,1\n"));
         assert!(csv.contains("bank,1,1\n"));
         assert!(csv.contains("meta,total_writes,2\n"));
+    }
+
+    /// Two profilers fed disjoint streams, absorbed, must equal one
+    /// profiler fed the union — including after window doubling has
+    /// desynchronized the two series' widths.
+    #[test]
+    fn absorb_matches_single_profiler() {
+        let mut a = WriteProfiler::new(2, 1);
+        let mut b = WriteProfiler::new(2, 1);
+        let mut whole = WriteProfiler::new(2, 1);
+        for i in 0..6000u64 {
+            // Far past MAX_WINDOWS µs: forces doubling in `a` (and so in
+            // `whole`), while `b` stays at the original width.
+            a.record_write(WriteCause::Data, (i % 2) as usize, i * 1_000_000);
+            whole.record_write(WriteCause::Data, (i % 2) as usize, i * 1_000_000);
+        }
+        for i in 0..100u64 {
+            b.record_write(WriteCause::CounterBlock, 0, i * 2_000_000);
+            b.record_write(WriteCause::BmtNode { level: 3 }, 1, i * 2_000_000);
+            whole.record_write(WriteCause::CounterBlock, 0, i * 2_000_000);
+            whole.record_write(WriteCause::BmtNode { level: 3 }, 1, i * 2_000_000);
+        }
+        a.observe_write_stall(5_000);
+        whole.observe_write_stall(5_000);
+        b.observe_wpq_depth(3);
+        whole.observe_wpq_depth(3);
+        let mut merged = a.summary(14, vec![(1, 5)]);
+        merged.absorb(&b.summary(14, vec![(2, 7)]));
+        let mut expect = whole.summary(14, vec![(1, 5)]);
+        merge_pairs(&mut expect.line_wear_hist, &[(2, 7)]);
+        assert_eq!(merged, expect);
+        assert_eq!(merged.to_json(), expect.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "different energy models")]
+    fn absorb_rejects_mismatched_energy() {
+        let p = WriteProfiler::new(1, 1);
+        let mut a = p.summary(14, vec![]);
+        a.absorb(&p.summary(15, vec![]));
     }
 
     #[test]

@@ -30,6 +30,16 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives an independent per-lane seed from a master seed (one
+/// SplitMix64 step with the lane index folded into the state), so
+/// adjacent lanes get unrelated streams. Shared by everything that fans
+/// one master seed out across concurrent generators — star-serve tenant
+/// streams and star-shard lane workloads.
+pub fn lane_seed(master: u64, lane: u64) -> u64 {
+    let mut state = master.wrapping_add(lane.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    splitmix64(&mut state)
+}
+
 /// A deterministic xoshiro256** generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {

@@ -21,12 +21,18 @@
 //!   unavailability. Requests arriving during an outage queue up behind
 //!   it, so schemes with slow recovery pay twice: in downtime seconds
 //!   *and* in post-recovery tail latency.
-//! * **The report** ([`report`]) emits the schema-v5 `serve` document —
+//! * **The report** ([`report`]) emits the schema-v6 `serve` document —
 //!   per-scheme/per-tenant p50/p99/p999 latency (via the shared
 //!   [`star_trace::Log2Hist`] quantiles), goodput, unavailability, the
 //!   recovery-time breakdown of every outage, and wear/energy over the
 //!   whole horizon — with scheme×scenario grids dispatched over
 //!   [`star_sweep`], so report bytes are identical at any thread count.
+//! * **The sharded backend** ([`shard`]) partitions the store into
+//!   lanes (independent security-metadata domains, star-shard's unit of
+//!   crash blast radius): tenants are placed on lanes, each lane runs
+//!   its own queue and its own crash/recover, and the schema-v6
+//!   `serve-shard` document carries per-lane request and downtime
+//!   ledgers — hot-shard and skewed-placement scenarios included.
 //!
 //! ```
 //! use star_serve::{simulate, standard_scenarios, ServeConfig, ServeScheme};
@@ -44,11 +50,16 @@
 pub mod kv;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 pub mod sim;
 
 pub use kv::{HorizonTotals, SecureKv};
 pub use report::{run_grid, ServeGridReport};
 pub use scenario::{
     standard_scenarios, standard_scenarios_at, Scenario, ServeConfig, ServeScheme, TenantSpec,
+};
+pub use shard::{
+    run_sharded_grid, shard_scenarios, simulate_sharded, LaneServeStats, ShardScenario,
+    ShardServeGridReport, ShardServeOutcome,
 };
 pub use sim::{simulate, ServeOutcome, TenantStats};

@@ -1,4 +1,4 @@
-//! The schema-v5 `serve` report: scheme×scenario grids over
+//! The schema-v6 `serve` report: scheme×scenario grids over
 //! [`star_sweep`], serialized with the shared byte-stable JSON
 //! conventions of [`star_core::report`].
 

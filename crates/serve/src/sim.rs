@@ -85,35 +85,30 @@ impl ServeOutcome {
 }
 
 /// One generated request.
-struct Req {
-    at_ns: u64,
-    tenant: u32,
-    key: u64,
-    is_read: bool,
+pub(crate) struct Req {
+    pub(crate) at_ns: u64,
+    pub(crate) tenant: u32,
+    pub(crate) key: u64,
+    pub(crate) is_read: bool,
 }
 
-/// Derives a tenant-stream seed from the master seed (SplitMix64-style
-/// mixing, so adjacent tenants get unrelated streams).
+/// Derives a tenant-stream seed from the master seed (see
+/// [`star_rng::lane_seed`]; adjacent tenants get unrelated streams).
 fn stream_seed(master: u64, lane: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(lane.wrapping_mul(0x9e37_79b9_7f4a_7c15))
-        .wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    star_rng::lane_seed(master, lane)
 }
 
-/// Runs one scheme through one scenario and returns its outcome.
-///
-/// Deterministic in `(scheme, scenario, cfg.seed, cfg.horizon_ns,
-/// cfg.mem)`; `cfg.threads` plays no role here, which is what makes the
-/// grid byte-identical at any thread count.
-pub fn simulate(scheme: ServeScheme, scenario: &Scenario, cfg: &ServeConfig) -> ServeOutcome {
-    // Generate every tenant's request stream up front, then merge by
-    // arrival time (ties broken by tenant index; a single tenant's
-    // stream is strictly increasing).
+/// Generates every tenant's request stream up front and merges them by
+/// arrival time (ties broken by tenant index; a single tenant's stream
+/// is strictly increasing). Shared by the single-store simulation and
+/// the sharded backend, which must see *identical* traffic for a given
+/// tenant population.
+pub(crate) fn generate_requests(
+    tenants: &[crate::scenario::TenantSpec],
+    cfg: &ServeConfig,
+) -> Vec<Req> {
     let mut reqs: Vec<Req> = Vec::new();
-    for (ti, t) in scenario.tenants.iter().enumerate() {
+    for (ti, t) in tenants.iter().enumerate() {
         let zipf = Zipfian::new(t.keys, t.zipf_theta);
         let mut op_rng = SimRng::seed_from_u64(stream_seed(cfg.seed, ti as u64 * 2 + 1));
         for at_ns in OpenLoopArrivals::new(
@@ -131,6 +126,16 @@ pub fn simulate(scheme: ServeScheme, scenario: &Scenario, cfg: &ServeConfig) -> 
         }
     }
     reqs.sort_by_key(|r| (r.at_ns, r.tenant));
+    reqs
+}
+
+/// Runs one scheme through one scenario and returns its outcome.
+///
+/// Deterministic in `(scheme, scenario, cfg.seed, cfg.horizon_ns,
+/// cfg.mem)`; `cfg.threads` plays no role here, which is what makes the
+/// grid byte-identical at any thread count.
+pub fn simulate(scheme: ServeScheme, scenario: &Scenario, cfg: &ServeConfig) -> ServeOutcome {
+    let reqs = generate_requests(&scenario.tenants, cfg);
 
     let mut crashes = scenario.crash_plan.clone();
     crashes.sort_unstable();

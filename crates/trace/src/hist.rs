@@ -66,6 +66,19 @@ impl Log2Hist {
         }
     }
 
+    /// Merges every sample of `other` into `self`, bucket-exactly: the
+    /// result is identical to having observed both sample streams into
+    /// one histogram (order never matters — used for cross-shard
+    /// latency aggregation).
+    pub fn absorb(&mut self, other: &Log2Hist) {
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a star JSON report document by its self-describing `kind`.
+
+Usage: validate_report.py FILE [--cases N] [--cells N] [--crashes N]
+
+Every JSON artifact the simulators emit carries `schema_version` and
+`kind` (see crates/core/src/report.rs). This script dispatches on the
+kind and checks the document's internal balance invariants — the same
+checks the Rust golden tests run, kept here in one place so every CI
+smoke job validates artifacts the same way instead of repeating inline
+python heredocs.
+
+Supported kinds: trace, check-report, serve, shard, serve-shard.
+Exits non-zero with a message on the first violated invariant.
+"""
+
+import argparse
+import json
+import sys
+
+
+def validate_trace(d, args):
+    events = d["traceEvents"]
+    assert isinstance(events, list) and events, "no events"
+    for e in events:
+        assert e["ph"] in ("i", "X", "C", "M"), e
+        assert isinstance(e["pid"], int) and isinstance(e["tid"], int), e
+        if e["ph"] != "M":
+            assert isinstance(e["ts"], (int, float)), e
+        if e["ph"] == "X":
+            assert isinstance(e["dur"], (int, float)), e
+    assert "histograms" in d
+    return f"{len(events)} events"
+
+
+def validate_check(d, args):
+    assert d["failing"] == 0, d["failing"]
+    if args.cases is not None:
+        assert len(d["case_results"]) == args.cases, len(d["case_results"])
+    return f"{len(d['case_results'])} cases clean"
+
+
+def check_latency(cell, who):
+    lat = cell["latency_ns"]
+    assert lat["p50"] <= lat["p99"] <= lat["p999"] <= lat["max"], who
+
+
+def validate_serve(d, args):
+    cells = d["cells"]
+    if args.cells is not None:
+        assert len(cells) == args.cells, len(cells)
+    for c in cells:
+        who = f"{c['scheme']}/{c['scenario']}"
+        assert c["requests"] == sum(t["requests"] for t in c["tenants"]), who
+        spans = c["downtime_spans"]
+        assert c["crashes"] == len(spans), who
+        if args.crashes is not None:
+            assert c["crashes"] == args.crashes, who
+        assert c["unavailability_ns"] == sum(s["total_ns"] for s in spans), who
+        if spans:
+            assert c["unavailability_ns"] > 0, who
+        check_latency(c, who)
+    return f"{len(cells)} cells balanced"
+
+
+def validate_shard(d, args):
+    lanes = d["lanes"]
+    epochs = -(-d["ops_per_lane"] // d["epoch_ops"])  # ceiling division
+    cells = d["cells"]
+    if args.cells is not None:
+        assert len(cells) == args.cells, len(cells)
+    for c in cells:
+        who = f"{c['scheme']}/{c['workload']}"
+        shards = c["shards"]
+        assert len(shards) == lanes, who
+        assert [s["lane"] for s in shards] == list(range(lanes)), who
+        for s in shards:
+            assert s["report"]["kind"] == "run-report", who
+        log = c["epoch_log"]
+        assert len(log) == epochs * lanes, who
+        assert log == sorted(log, key=lambda r: (r[0], r[1])), who
+        logged = sum(r[2] for r in log)
+        assert logged == sum(s["persist_points"] for s in shards), who
+        assert c["merged"]["instructions"] == sum(
+            s["report"]["instructions"] for s in shards
+        ), who
+    return f"{len(cells)} cells x {lanes} lanes balanced"
+
+
+def validate_serve_shard(d, args):
+    lane_count = d["lanes"]
+    cells = d["cells"]
+    if args.cells is not None:
+        assert len(cells) == args.cells, len(cells)
+    for c in cells:
+        who = f"{c['scheme']}/{c['scenario']}"
+        lanes = c["lanes"]
+        assert len(lanes) == lane_count, who
+        assert c["requests"] == sum(l["requests"] for l in lanes), who
+        span_total = sum(
+            s["total_ns"] for l in lanes for s in l["downtime_spans"]
+        )
+        assert c["unavailability_ns"] == span_total, who
+        for l in lanes:
+            assert l["crashes"] == len(l["downtime_spans"]), who
+        for t in c["tenants"]:
+            assert 0 <= t["lane"] < lane_count, who
+        check_latency(c, who)
+    return f"{len(cells)} cells x {lane_count} lanes balanced"
+
+
+VALIDATORS = {
+    "trace": validate_trace,
+    "check-report": validate_check,
+    "serve": validate_serve,
+    "shard": validate_shard,
+    "serve-shard": validate_serve_shard,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="JSON report to validate")
+    parser.add_argument("--cases", type=int, help="expected check-report case count")
+    parser.add_argument("--cells", type=int, help="expected grid cell count")
+    parser.add_argument("--crashes", type=int, help="expected crashes per serve cell")
+    args = parser.parse_args()
+
+    with open(args.file) as f:
+        d = json.load(f)
+    assert isinstance(d["schema_version"], int) and d["schema_version"] >= 5, d[
+        "schema_version"
+    ]
+    kind = d["kind"]
+    validator = VALIDATORS.get(kind)
+    if validator is None:
+        sys.exit(f"{args.file}: unsupported kind {kind!r}")
+    detail = validator(d, args)
+    print(f"OK: {args.file} ({kind}): {detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,8 +27,14 @@
 //! * [`serve`] — an open-loop discrete-event secure-KV service simulator:
 //!   multi-tenant zipfian traffic with diurnal/burst load shapes, crash
 //!   plans that turn recovery time into user-visible unavailability, and
-//!   schema-v5 `serve` reports with p50/p99/p999 latency per scheme and
+//!   schema-v6 `serve` reports with p50/p99/p999 latency per scheme and
 //!   tenant (DESIGN.md §11).
+//! * [`shard`] — a sharded concurrent secure-memory engine: a fixed
+//!   population of lane-partitioned metadata domains on lane-derived
+//!   SplitMix64 streams, driven by per-shard worker threads under
+//!   epoch-batched persist ordering, with key-ordered merges that keep
+//!   the whole schema-v6 `shard` report byte-identical at any
+//!   `--shards`/`--threads` setting (DESIGN.md §13).
 //!
 //! # Quickstart
 //!
@@ -51,5 +57,6 @@ pub use star_metadata as metadata;
 pub use star_nvm as nvm;
 pub use star_prof as prof;
 pub use star_serve as serve;
+pub use star_shard as shard;
 pub use star_trace as trace;
 pub use star_workloads as workloads;

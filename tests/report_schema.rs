@@ -1,13 +1,17 @@
-//! Golden-file coverage for report schema v5.
+//! Golden-file coverage for report schema v6.
 //!
-//! Two committed golden files pin exact report bytes — field order,
+//! Committed golden files pin exact report bytes — field order,
 //! escaping, float formatting — so any schema drift shows up as a
 //! reviewable diff instead of silently breaking downstream consumers:
 //!
-//! * `tests/golden/run_report_v5.json` — a canonical
+//! * `tests/golden/run_report_v6.json` — a canonical
 //!   [`RunReport`](star::core::RunReport) (the `run-report` kind);
-//! * `tests/golden/serve_report_v5.json` — a canonical star-serve grid
-//!   (the `serve` kind added in schema 5).
+//! * `tests/golden/serve_report_v6.json` — a canonical star-serve grid
+//!   (the `serve` kind added in schema 5);
+//! * `tests/golden/shard_report_v6.json` — a canonical star-shard grid
+//!   with a lane crash (the `shard` kind added in schema 6);
+//! * `tests/golden/serve_shard_report_v6.json` — a canonical sharded
+//!   star-serve grid (the `serve-shard` kind added in schema 6).
 //!
 //! Refresh after an *intended* schema change (bumping `SCHEMA_VERSION`
 //! where appropriate) with:
@@ -18,15 +22,25 @@
 
 use star::core::{Instrumented, SchemeKind, SecureMemConfig, SecureMemory, SCHEMA_VERSION};
 use star::prof::JsonValue;
-use star::serve::{run_grid, standard_scenarios, ServeConfig};
+use star::serve::{run_grid, run_sharded_grid, shard_scenarios, standard_scenarios, ServeConfig};
+use star::shard::{run_shard_grid, ShardSpec};
+use star::workloads::WorkloadKind;
 
 const GOLDEN_RUN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/run_report_v5.json"
+    "/tests/golden/run_report_v6.json"
 );
 const GOLDEN_SERVE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/serve_report_v5.json"
+    "/tests/golden/serve_report_v6.json"
+);
+const GOLDEN_SHARD: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/shard_report_v6.json"
+);
+const GOLDEN_SERVE_SHARD: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/serve_shard_report_v6.json"
 );
 
 /// The canonical deterministic run the run-report golden freezes.
@@ -45,6 +59,27 @@ fn canonical_report_json() -> String {
 fn canonical_serve_json() -> String {
     let cfg = ServeConfig::quick(10);
     run_grid(&cfg, &standard_scenarios(&cfg)).to_json()
+}
+
+/// The canonical star-shard grid the shard golden freezes: two lanes of
+/// star and anubis (both recoverable — the spec's crash replays in every
+/// cell) with a lane-1 crash, so the golden pins the per-lane sections,
+/// the epoch-merged persist log, the recovery record shape and the
+/// merged totals all at once.
+fn canonical_shard_json() -> String {
+    let spec = ShardSpec::new(SchemeKind::Star, WorkloadKind::Array)
+        .with_lanes(2)
+        .with_ops_per_lane(120)
+        .with_epoch_ops(40)
+        .with_crash(1, 1);
+    run_shard_grid(&spec, &[SchemeKind::Star, SchemeKind::Anubis], 1).to_json()
+}
+
+/// The canonical sharded serve grid the serve-shard golden freezes: the
+/// hot-shard and skew-place scenarios over two lanes.
+fn canonical_serve_shard_json() -> String {
+    let cfg = ServeConfig::quick(10);
+    run_sharded_grid(&cfg, &shard_scenarios(&cfg, 2, 2.0)).to_json()
 }
 
 /// Byte-compares (or, under `REGEN_GOLDEN=1`, rewrites) one golden file.
@@ -86,6 +121,16 @@ fn run_report_matches_committed_golden_bytes() {
 #[test]
 fn serve_report_matches_committed_golden_bytes() {
     check_golden(GOLDEN_SERVE, &canonical_serve_json());
+}
+
+#[test]
+fn shard_report_matches_committed_golden_bytes() {
+    check_golden(GOLDEN_SHARD, &canonical_shard_json());
+}
+
+#[test]
+fn serve_shard_report_matches_committed_golden_bytes() {
+    check_golden(GOLDEN_SERVE_SHARD, &canonical_serve_shard_json());
 }
 
 #[test]
@@ -181,6 +226,151 @@ fn golden_serve_report_balances() {
             nvm_writes,
             "{label}: writes_by_cause decomposes nvm.writes"
         );
+    }
+}
+
+/// The schema-v6 `shard` invariants, checked on the emitted JSON: every
+/// cell's epoch log covers every (epoch, lane) pair in key order, its
+/// logged persist points sum to the per-lane totals, each lane embeds a
+/// full self-describing run-report, and the merged section's headline
+/// counters are the lane sums.
+#[test]
+fn golden_shard_report_balances() {
+    let doc = JsonValue::parse(&canonical_shard_json()).expect("shard report parses");
+    assert_eq!(
+        doc.get("schema_version").and_then(JsonValue::as_u64),
+        Some(u64::from(SCHEMA_VERSION))
+    );
+    assert_eq!(doc.get("kind").and_then(JsonValue::as_str), Some("shard"));
+    let lanes = doc.get("lanes").and_then(JsonValue::as_u64).unwrap();
+    let ops = doc.get("ops_per_lane").and_then(JsonValue::as_u64).unwrap();
+    let epoch_ops = doc.get("epoch_ops").and_then(JsonValue::as_u64).unwrap();
+    let epochs = ops.div_ceil(epoch_ops);
+    let JsonValue::Arr(cells) = doc.get("cells").expect("cells") else {
+        panic!("cells is not an array");
+    };
+    assert_eq!(cells.len(), 2, "star and anubis");
+    for cell in cells {
+        let label = cell.get("scheme").and_then(JsonValue::as_str).unwrap();
+        let JsonValue::Arr(shards) = cell.get("shards").expect("shards") else {
+            panic!("shards is not an array");
+        };
+        assert_eq!(shards.len() as u64, lanes, "{label}: one section per lane");
+        let mut lane_instructions = 0u64;
+        let mut lane_points = 0u64;
+        for (i, lane) in shards.iter().enumerate() {
+            assert_eq!(
+                lane.get("lane").and_then(JsonValue::as_u64),
+                Some(i as u64),
+                "{label}: lane sections are lane-ordered"
+            );
+            lane_points += lane
+                .get("persist_points")
+                .and_then(JsonValue::as_u64)
+                .unwrap();
+            let report = lane.get("report").expect("lane run-report");
+            assert_eq!(
+                report.get("kind").and_then(JsonValue::as_str),
+                Some("run-report"),
+                "{label}: lane sections embed self-describing run-reports"
+            );
+            lane_instructions += report
+                .get("instructions")
+                .and_then(JsonValue::as_u64)
+                .unwrap();
+        }
+        // The crash scheduled on lane 1 recovered in every cell.
+        let recoveries = shards[1]
+            .get("recoveries")
+            .and_then(JsonValue::as_arr)
+            .unwrap();
+        assert_eq!(recoveries.len(), 1, "{label}: lane 1 crashed once");
+        assert!(
+            recoveries[0]
+                .get("recovery_ns")
+                .and_then(JsonValue::as_u64)
+                .unwrap()
+                > 0
+        );
+        let JsonValue::Arr(log) = cell.get("epoch_log").expect("epoch_log") else {
+            panic!("epoch_log is not an array");
+        };
+        assert_eq!(log.len() as u64, epochs * lanes, "{label}: full epoch log");
+        let logged_points: u64 = log
+            .iter()
+            .map(|row| {
+                let JsonValue::Arr(fields) = row else {
+                    panic!("epoch_log rows are arrays");
+                };
+                fields[2].as_u64().unwrap()
+            })
+            .sum();
+        assert_eq!(
+            logged_points, lane_points,
+            "{label}: the epoch log conserves persist points"
+        );
+        let merged = cell.get("merged").expect("merged totals");
+        assert_eq!(
+            merged.get("instructions").and_then(JsonValue::as_u64),
+            Some(lane_instructions),
+            "{label}: merged instructions are the lane sums"
+        );
+    }
+}
+
+/// The schema-v6 `serve-shard` invariants, checked on the emitted JSON:
+/// per-lane request counts sum to the cell total, unavailability is the
+/// sum of every lane's downtime spans, and tenants carry their lane
+/// placement.
+#[test]
+fn golden_serve_shard_report_balances() {
+    let doc = JsonValue::parse(&canonical_serve_shard_json()).expect("serve-shard parses");
+    assert_eq!(
+        doc.get("schema_version").and_then(JsonValue::as_u64),
+        Some(u64::from(SCHEMA_VERSION))
+    );
+    assert_eq!(
+        doc.get("kind").and_then(JsonValue::as_str),
+        Some("serve-shard")
+    );
+    let lane_count = doc.get("lanes").and_then(JsonValue::as_u64).unwrap();
+    let JsonValue::Arr(cells) = doc.get("cells").expect("cells") else {
+        panic!("cells is not an array");
+    };
+    assert_eq!(cells.len(), 10, "5 schemes x 2 scenarios");
+    for cell in cells {
+        let label = format!(
+            "{}/{}",
+            cell.get("scheme").and_then(JsonValue::as_str).unwrap(),
+            cell.get("scenario").and_then(JsonValue::as_str).unwrap()
+        );
+        let requests = cell.get("requests").and_then(JsonValue::as_u64).unwrap();
+        let lanes = cell.get("lanes").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(lanes.len() as u64, lane_count, "{label}");
+        let lane_sum: u64 = lanes
+            .iter()
+            .map(|l| l.get("requests").and_then(JsonValue::as_u64).unwrap())
+            .sum();
+        assert_eq!(lane_sum, requests, "{label}: lane counts sum to total");
+        let unavailability = cell
+            .get("unavailability_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap();
+        let span_sum: u64 = lanes
+            .iter()
+            .flat_map(|l| l.get("downtime_spans").and_then(JsonValue::as_arr).unwrap())
+            .map(|s| s.get("total_ns").and_then(JsonValue::as_u64).unwrap())
+            .sum();
+        assert_eq!(
+            unavailability, span_sum,
+            "{label}: unavailability is the sum of every lane's spans"
+        );
+        for t in cell.get("tenants").and_then(JsonValue::as_arr).unwrap() {
+            assert!(
+                t.get("lane").and_then(JsonValue::as_u64).unwrap() < lane_count,
+                "{label}: tenant placement names a real lane"
+            );
+        }
     }
 }
 
