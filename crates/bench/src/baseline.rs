@@ -18,6 +18,7 @@
 //! across `--jobs` counts and across repeated runs.
 
 use crate::harness::{run_and_crash, run_scheme, ExperimentConfig};
+use crate::profbench::ProfBench;
 use crate::shardbench::{ShardBench, ShardScaleRow};
 use crate::sweepbench::SweepBench;
 use star_core::report::{json_f64, json_str, schema_preamble};
@@ -106,6 +107,13 @@ pub struct BaselineReport {
     pub min_shard_speedup_2: Option<f64>,
     /// Minimum 4-shard-over-1-shard wall-clock speedup.
     pub min_shard_speedup_4: Option<f64>,
+    /// The host-profile summary (`star-bench profile`), serialized under
+    /// `"perf_profile"`.
+    pub profile: Option<ProfBench>,
+    /// Maximum span-attributed allocations per simulated op the
+    /// committed baseline tolerates of a profiled run; `None` leaves the
+    /// allocation rate recorded but ungated.
+    pub max_allocs_per_op: Option<f64>,
 }
 
 /// The engine schemes in the grid, in row order.
@@ -120,6 +128,10 @@ const SCHEMES: [SchemeKind; 4] = [
 const WORKLOADS: [WorkloadKind; 2] = [WorkloadKind::Array, WorkloadKind::Ycsb];
 
 fn triad_row(ops: usize) -> BaselineRow {
+    // Cell spans mirror the SweepKey labels, so a profile groups time
+    // first by workload, then by scheme, under the sweep job.
+    star_scope::span!("synthetic");
+    star_scope::span!("triad");
     let mut m = TriadMemory::new(TriadConfig {
         data_lines: TRIAD_DATA_LINES,
         persist_levels: 2,
@@ -141,6 +153,8 @@ fn triad_row(ops: usize) -> BaselineRow {
 }
 
 fn engine_row(scheme: SchemeKind, workload: WorkloadKind, cfg: &BaselineConfig) -> BaselineRow {
+    star_scope::span!(workload.label());
+    star_scope::span!(scheme.label());
     let exp = ExperimentConfig {
         ops: cfg.ops,
         seed: cfg.seed,
@@ -208,6 +222,8 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
         shard: None,
         min_shard_speedup_2: None,
         min_shard_speedup_4: None,
+        profile: None,
+        max_allocs_per_op: None,
     }
 }
 
@@ -278,6 +294,23 @@ impl BaselineReport {
                     let _ = write!(out, "\"{name}\":{}", json_f64(floor));
                     first = false;
                 }
+            }
+            out.push('}');
+        }
+        if self.profile.is_some() || self.max_allocs_per_op.is_some() {
+            out.push_str(",\"perf_profile\":{");
+            let mut first = true;
+            if let Some(profile) = &self.profile {
+                let body = profile.to_json();
+                // Splice the measured fields in without their braces.
+                out.push_str(&body[1..body.len() - 1]);
+                first = false;
+            }
+            if let Some(ceiling) = self.max_allocs_per_op {
+                if !first {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"max_allocs_per_op\":{}", json_f64(ceiling));
             }
             out.push('}');
         }
@@ -412,6 +445,17 @@ impl BaselineReport {
                 });
             }
         }
+        let mut profile = None;
+        let mut max_allocs_per_op = None;
+        if let Some(obj) = doc.get("perf_profile") {
+            max_allocs_per_op = obj.get("max_allocs_per_op").and_then(JsonValue::as_f64);
+            // The measured fields travel together; "allocs_per_op" marks
+            // their presence (a committed baseline carries only the
+            // ceiling).
+            if obj.get("allocs_per_op").is_some() {
+                profile = Some(ProfBench::from_json(obj)?);
+            }
+        }
         Ok(BaselineReport {
             ops,
             seed,
@@ -421,6 +465,8 @@ impl BaselineReport {
             shard,
             min_shard_speedup_2,
             min_shard_speedup_4,
+            profile,
+            max_allocs_per_op,
         })
     }
 }
@@ -576,6 +622,25 @@ pub fn check(current: &BaselineReport, baseline: &BaselineReport) -> Result<Chec
                     shard.lanes, shard.ops_per_lane
                 ));
             }
+        }
+    }
+    // The allocation-rate gate: wall-clock shares are machine-dependent,
+    // but allocations per simulated op are deterministic for a fixed
+    // toolchain, so the committed baseline may pin an absolute ceiling.
+    // A pinned ceiling makes the profile measurement mandatory.
+    if let Some(ceiling) = baseline.max_allocs_per_op {
+        let Some(profile) = &current.profile else {
+            return Err(format!(
+                "baseline pins perf_profile max_allocs_per_op {ceiling}, but the current run \
+                 carries no profile measurement — re-run star-bench profile --alloc"
+            ));
+        };
+        if profile.allocs_per_op > ceiling {
+            out.regressions.push(format!(
+                "perf_profile allocs_per_op: {:.2} > allowed {ceiling} \
+                 (over {} simulated ops)",
+                profile.allocs_per_op, profile.ops
+            ));
         }
     }
     Ok(out)
@@ -759,6 +824,54 @@ mod tests {
         shard.rows.truncate(2);
         short.shard = Some(shard);
         assert!(check(&short, &baseline).is_err());
+    }
+
+    fn sample_profile() -> ProfBench {
+        ProfBench {
+            ops: 18_000,
+            wall_ms: 240.0,
+            attributed_share: 0.96,
+            allocs_per_op: 3.5,
+            top: vec![crate::profbench::ProfComponent {
+                path: "sweep/job;array;star".into(),
+                excl_ms: 60.0,
+                share: 0.25,
+            }],
+        }
+    }
+
+    #[test]
+    fn profile_fields_roundtrip_through_json() {
+        let mut report = run_baseline(&tiny());
+        report.profile = Some(sample_profile());
+        report.max_allocs_per_op = Some(10.0);
+        let parsed = BaselineReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+        // The committed-baseline shape — a ceiling with no measurement —
+        // roundtrips too.
+        report.profile = None;
+        let parsed = BaselineReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn alloc_ceiling_gates_the_profile() {
+        let mut baseline = run_baseline(&tiny());
+        baseline.max_allocs_per_op = Some(10.0);
+        // A pinned ceiling makes the measurement mandatory.
+        let bare = run_baseline(&tiny());
+        assert!(check(&bare, &baseline).is_err());
+        let mut lean = bare.clone();
+        lean.profile = Some(sample_profile());
+        assert!(check(&lean, &baseline).expect("same grid").passed());
+        let mut hungry = bare.clone();
+        hungry.profile = Some(ProfBench {
+            allocs_per_op: 25.0,
+            ..sample_profile()
+        });
+        let verdict = check(&hungry, &baseline).expect("same grid");
+        assert!(!verdict.passed());
+        assert!(verdict.regressions[0].contains("allocs_per_op"));
     }
 
     #[test]

@@ -3,13 +3,15 @@
 //! ```text
 //! star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE]
 //!                     [--check FILE] [--sweep-bench] [--sweep-ops N]
-//!                     [--shard-bench] [--shard-ops N]
+//!                     [--shard-bench] [--shard-ops N] [--progress]
+//! star-bench profile  [--ops N] [--seed S] [--alloc] [--top N]
+//!                     [--json FILE] [--collapsed FILE] [--out FILE]
 //! star-bench check    [--cases N] [--seed S] [--threads T] [--ops-max N]
 //!                     [--json FILE] [--repro FILE]
 //! star-bench serve    [--horizon-s N] [--rate R] [--seed S] [--threads T]
-//!                     [--data-mb M] [--shards N] [--json FILE]
+//!                     [--data-mb M] [--shards N] [--json FILE] [--progress]
 //! star-bench shard    [--lanes L] [--shards S] [--threads T] [--ops N]
-//!                     [--epoch-ops K] [--seed S] [--json FILE]
+//!                     [--epoch-ops K] [--seed S] [--json FILE] [--progress]
 //! ```
 //!
 //! `baseline` runs the canonical reduced scheme grid ((array, ycsb) ×
@@ -51,6 +53,21 @@
 //! is byte-identical at any `--shards`/`--threads` setting — CI `cmp`s
 //! a 1-shard run against a 4-shard run.
 //!
+//! `profile` runs the same canonical grid serially under the
+//! `star-scope` wall-clock profiler and prints the hottest span paths
+//! with their exclusive-time shares; the measured rows are identical to
+//! an unprofiled `baseline` run. `--alloc` also attributes heap
+//! allocations to spans through the counting global allocator installed
+//! in this binary. `--json FILE` writes the full `perf-profile`
+//! document, `--collapsed FILE` writes flamegraph-compatible collapsed
+//! stacks (`flamegraph.pl`, inferno, speedscope), and the summary —
+//! top components, attributed share, allocs/op — lands in `--out`
+//! (default `BENCH_PR.json`) under `"perf_profile"`.
+//!
+//! `--progress` (long-running subcommands) prints a `done/total` case
+//! heartbeat to **stderr** about once a second; stdout report bytes are
+//! never touched.
+//!
 //! Output of all subcommands is byte-identical for any `--jobs` /
 //! `--threads` value, so CI can compare artifacts across runners. To
 //! refresh the baseline after an intended change: `star-bench baseline
@@ -58,25 +75,34 @@
 //! moved the numbers.
 
 use star_bench::baseline::{check, run_baseline, BaselineConfig, BaselineReport};
+use star_bench::profbench::run_prof_bench;
 use star_bench::shardbench::{run_shard_bench, SHARD_BENCH_OPS};
 use star_bench::sweepbench::{run_sweep_bench, SWEEP_BENCH_OPS};
 use star_check::{run_check, CheckConfig, Program};
+use star_core::report::schema_preamble;
 use star_core::{SchemeKind, SecureMemConfig};
 use star_serve::{run_grid, run_sharded_grid, shard_scenarios, standard_scenarios_at, ServeConfig};
 use star_shard::{run_shard_grid, ShardSpec};
 use star_workloads::WorkloadKind;
 use std::io::Read as _;
 
+/// Counting allocator wrapper: a passthrough to the system allocator
+/// until `star-bench profile --alloc` flips the accounting on.
+#[global_allocator]
+static ALLOC: star_scope::StarAlloc = star_scope::StarAlloc::new();
+
 fn usage() -> ! {
     eprintln!(
         "usage: star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE] [--check FILE] \
-         [--sweep-bench] [--sweep-ops N] [--shard-bench] [--shard-ops N]\n\
+         [--sweep-bench] [--sweep-ops N] [--shard-bench] [--shard-ops N] [--progress]\n\
+         \x20      star-bench profile [--ops N] [--seed S] [--alloc] [--top N] [--json FILE] \
+         [--collapsed FILE] [--out FILE]\n\
          \x20      star-bench check [--cases N] [--seed S] [--threads T] [--ops-max N] \
          [--json FILE] [--repro FILE]\n\
          \x20      star-bench serve [--horizon-s N] [--rate R] [--seed S] [--threads T] \
-         [--data-mb M] [--shards N] [--json FILE]\n\
+         [--data-mb M] [--shards N] [--json FILE] [--progress]\n\
          \x20      star-bench shard [--lanes L] [--shards S] [--threads T] [--ops N] \
-         [--epoch-ops K] [--seed S] [--json FILE]"
+         [--epoch-ops K] [--seed S] [--json FILE] [--progress]"
     );
     std::process::exit(2);
 }
@@ -85,11 +111,99 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("baseline") => baseline_cmd(&args[1..]),
+        Some("profile") => profile_cmd(&args[1..]),
         Some("check") => check_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("shard") => shard_cmd(&args[1..]),
         _ => usage(),
     }
+}
+
+fn profile_cmd(args: &[String]) {
+    let mut cfg = BaselineConfig::default();
+    let mut count_allocs = false;
+    let mut top_n: usize = 12;
+    let mut json_path: Option<String> = None;
+    let mut collapsed_path: Option<String> = None;
+    let mut out_path = String::from("BENCH_PR.json");
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => cfg.ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--alloc" => count_allocs = true,
+            "--top" => top_n = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--json" => json_path = Some(value(args, &mut i)),
+            "--collapsed" => collapsed_path = Some(value(args, &mut i)),
+            "--out" => out_path = value(args, &mut i),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    // Serial on purpose: with one worker the attributed share is a
+    // direct fraction of the measured wall clock (parallel jobs would
+    // attribute more span-time than wall-time).
+    cfg.jobs = 1;
+
+    eprintln!(
+        "profile: {} ops per cell, seed {}, alloc accounting {}...",
+        cfg.ops,
+        cfg.seed,
+        if count_allocs { "on" } else { "off" }
+    );
+    let run = run_prof_bench(&cfg, count_allocs);
+
+    print!("{}", run.report.table(top_n));
+    println!(
+        "attributed: {:.1}% of {:.1} ms wall clock ({:.1} ms unattributed)",
+        run.summary.attributed_share * 100.0,
+        run.summary.wall_ms,
+        run.report.unattributed_ns() as f64 / 1e6
+    );
+    if count_allocs {
+        println!(
+            "allocations: {} ({} bytes) over {} simulated ops -> {:.2} allocs/op",
+            run.report.allocs, run.report.alloc_bytes, run.summary.ops, run.summary.allocs_per_op
+        );
+    }
+
+    let write_file = |text: String, path: &str, what: &str| {
+        if path == "-" {
+            println!("{text}");
+        } else if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        } else {
+            eprintln!("wrote {what} to {path}");
+        }
+    };
+    if let Some(path) = &json_path {
+        let doc = format!(
+            "{{{}{}}}",
+            schema_preamble("perf-profile"),
+            run.report.json_body(false)
+        );
+        write_file(doc, path, "perf-profile document");
+    }
+    if let Some(path) = &collapsed_path {
+        write_file(run.report.to_collapsed(), path, "collapsed stacks");
+    }
+
+    let mut report = run.baseline;
+    report.profile = Some(run.summary);
+    if let Err(err) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "profile: {} rows + perf_profile -> {out_path}",
+        report.rows.len()
+    );
 }
 
 fn shard_cmd(args: &[String]) {
@@ -118,6 +232,7 @@ fn shard_cmd(args: &[String]) {
             }
             "--seed" => spec.seed = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--json" => json_path = Some(value(args, &mut i)),
+            "--progress" => star_sweep::set_progress(true),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -170,6 +285,7 @@ fn serve_cmd(args: &[String]) {
             "--data-mb" => data_mb = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--shards" => shards = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--json" => json_path = Some(value(args, &mut i)),
+            "--progress" => star_sweep::set_progress(true),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -325,6 +441,7 @@ fn baseline_cmd(args: &[String]) {
             "--sweep-ops" => sweep_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--shard-bench" => shard_bench = true,
             "--shard-ops" => shard_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--progress" => star_sweep::set_progress(true),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -704,6 +704,7 @@ impl SecureMemory {
     /// it) from NVM. The ancestor chain is pinned against eviction while
     /// the fetch is in flight.
     fn ensure_cached(&mut self, node: NodeId) {
+        star_scope::span!("engine/meta-fetch");
         let flat = self.geometry.flat_index(node);
         if self.meta_cache.touch(flat) {
             self.trace_meta("meta-hit", flat);
@@ -863,6 +864,7 @@ impl SecureMemory {
 
     /// Persists an evicted dirty node (the lazy-SIT write path steps 1–4).
     fn writeback_node(&mut self, flat: u64, mut cn: CachedNode) {
+        star_scope::span!("engine/writeback");
         self.trace_meta("meta-writeback", flat);
         let node = self.geometry.node_at_flat(flat).expect("metadata address");
         let (pc_new, parent_flat) = self.bump_parent_counter(node);
@@ -953,6 +955,7 @@ impl SecureMemory {
 
     /// Persists a cached dirty node without evicting it.
     fn flush_node_in_place(&mut self, flat: u64) {
+        star_scope::span!("engine/forced-flush");
         let node = self.geometry.node_at_flat(flat).expect("metadata address");
         // Fetching the parent chain must not evict the node being flushed.
         self.pins.push(flat);
@@ -1184,6 +1187,7 @@ const _: () = {
 
 impl TraceSink for SecureMemory {
     fn on_event(&mut self, event: MemEvent) {
+        star_scope::span!("engine/op");
         if let MemEvent::Work { count } = event {
             self.core.retire_instructions(count);
             return;

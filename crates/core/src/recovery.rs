@@ -373,6 +373,7 @@ pub fn recover_traced(
     image: &mut CrashImage,
     trace: &mut TraceRecorder,
 ) -> Result<RecoveryReport, RecoveryError> {
+    star_scope::span!("engine/recover");
     match image.scheme {
         SchemeKind::WriteBack => Err(RecoveryError::NotRecoverable(SchemeKind::WriteBack)),
         SchemeKind::Strict => Ok(strict_recover(image, trace)),

@@ -34,8 +34,15 @@
 //! (star-serve's sharded backend: per-shard request/downtime ledgers
 //! under each cell), and widened the faultsim explore report's
 //! `"workload"` from a fixed registry label to a free-form string so
-//! factory-driven sweeps can carry dynamic shard/tenant labels. The
-//! shapes of the other existing kinds are unchanged.
+//! factory-driven sweeps can carry dynamic shard/tenant labels;
+//! schema 7 added the `"perf-profile"` document kind (star-scope: the
+//! host wall-clock span profile — aggregated span paths with
+//! inclusive/exclusive nanoseconds, call counts, allocation counts and
+//! a scrubbed mode that zeroes host-measured fields so structure can be
+//! golden-pinned) and the optional `"perf_profile"` summary section of
+//! `bench-baseline` (top components, attributed share, allocs/op,
+//! `max_allocs_per_op` ceiling). The shapes of the other existing kinds
+//! are unchanged.
 
 use crate::config::SchemeKind;
 use crate::stats::RunReport;
@@ -48,7 +55,7 @@ use std::fmt::Write as _;
 pub use star_trace::{json_f64, json_str, TracePart};
 
 /// Version of the JSON report schema this build emits.
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// The standard report preamble: `"schema_version":N,"kind":"...",`
 /// (trailing comma included), shared by every report type.

@@ -216,6 +216,7 @@ impl MultiLayerBitmap {
     /// Marks metadata line `meta_idx` stale. Returns core stall time (ps)
     /// incurred by ADR misses. Timed NVM traffic goes through `nvm`.
     pub fn set(&mut self, meta_idx: u64, nvm: &mut NvmDevice, now_ps: u64) -> u64 {
+        star_scope::span!("star/bitmap");
         debug_assert!(meta_idx < self.layout.total_meta_lines);
         let mut stall = 0;
         self.update_bit(0, meta_idx, true, nvm, now_ps, &mut stall);
@@ -224,6 +225,7 @@ impl MultiLayerBitmap {
 
     /// Marks metadata line `meta_idx` no longer stale.
     pub fn clear(&mut self, meta_idx: u64, nvm: &mut NvmDevice, now_ps: u64) -> u64 {
+        star_scope::span!("star/bitmap");
         debug_assert!(meta_idx < self.layout.total_meta_lines);
         let mut stall = 0;
         self.update_bit(0, meta_idx, false, nvm, now_ps, &mut stall);

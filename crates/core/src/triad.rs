@@ -142,6 +142,7 @@ impl TriadMemory {
     ///
     /// Panics if `line` is out of range.
     pub fn write_data(&mut self, line: u64, version: u64) {
+        star_scope::span!("triad/write");
         assert!(line < self.cfg.data_lines, "data line out of range");
         let cb_idx = (line / TREE_ARITY as u64) as usize;
         let slot = (line % TREE_ARITY as u64) as usize;
@@ -269,6 +270,7 @@ impl TriadMemory {
     /// recorder's current clock; their durations sum exactly to the
     /// returned recovery time.
     pub fn crash_and_recover_traced(&self, trace: &mut TraceRecorder) -> (u64, u64, bool) {
+        star_scope::span!("triad/recover");
         let store = self.nvm.store();
         let mut reads = 0u64;
         let mut leaves: Vec<Line> = Vec::with_capacity(self.counter_blocks.len());

@@ -20,6 +20,7 @@ use crate::aes::Aes128;
 /// assert_ne!(p0, p1, "bumping the counter must change the pad");
 /// ```
 pub fn one_time_pad(aes: &Aes128, line_addr: u64, counter: u64) -> [u8; 64] {
+    star_scope::span!("crypto/otp");
     let mut pad = [0u8; 64];
     for blk in 0..4u64 {
         let mut input = [0u8; 16];

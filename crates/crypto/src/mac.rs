@@ -129,6 +129,7 @@ impl MacInput {
 
     /// Finalizes into a full 64-bit hash.
     pub fn hash64(&self, key: &MacKey) -> u64 {
+        star_scope::span!("crypto/mac");
         key.hash_bytes(&self.buf)
     }
 

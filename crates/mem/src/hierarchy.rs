@@ -153,6 +153,7 @@ impl CacheHierarchy {
     ///
     /// [`MemEvent::Work`] is timing-only and produces nothing here.
     pub fn access(&mut self, event: MemEvent, out: &mut Vec<MemSideOp>) {
+        star_scope::span!("mem/access");
         if !self.trace.is_on() {
             self.dispatch(event, out);
             return;

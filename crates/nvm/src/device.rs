@@ -216,6 +216,7 @@ impl NvmDevice {
     /// outright, so the fork costs `O(dirty-delta)` in line copies rather
     /// than `O(footprint)`.
     pub fn fork(&mut self) -> Self {
+        star_scope::span!("nvm/fork");
         self.store.freeze();
         self.clone()
     }
@@ -252,6 +253,7 @@ impl NvmDevice {
 
     /// Issues a timed read.
     pub fn read(&mut self, addr: LineAddr, class: AccessClass, now_ps: u64) -> ReadOutcome {
+        star_scope::span!("nvm/read");
         self.drain_retired(now_ps);
         let t = self.cfg.timings;
         let b = self.bank_of(addr);
@@ -294,6 +296,7 @@ impl NvmDevice {
         cause: WriteCause,
         now_ps: u64,
     ) -> WriteOutcome {
+        star_scope::span!("nvm/write");
         let class = AccessClass::from_cause(cause);
         self.drain_retired(now_ps);
         // Stall until a queue slot frees up.

@@ -1,0 +1,93 @@
+//! Allocation-accounting integration test.
+//!
+//! Lives in its own test binary because attributing allocations needs
+//! [`star_scope::StarAlloc`] installed as the `#[global_allocator]` —
+//! exactly the install a profiled binary (`star-bench`) performs.
+
+use star_scope::{ProfileReport, SpanTree};
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOC: star_scope::StarAlloc = star_scope::StarAlloc::new();
+
+/// Profiler globals are process-wide; serialize the tests.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn profiled(f: impl FnOnce()) -> SpanTree {
+    star_scope::reset();
+    star_scope::enable();
+    star_scope::set_alloc_counting(true);
+    f();
+    star_scope::set_alloc_counting(false);
+    star_scope::disable();
+    let tree = star_scope::collect();
+    star_scope::reset();
+    tree
+}
+
+#[test]
+fn allocations_attribute_to_the_active_span() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let tree = profiled(|| {
+        star_scope::span!("outer");
+        {
+            star_scope::span!("allocator");
+            // 16 separate boxed values: at least 16 allocations and
+            // 16 * 1024 bytes attributed exclusively to this span.
+            let mut keep = Vec::with_capacity(16);
+            for i in 0..16u8 {
+                keep.push(vec![i; 1024]);
+            }
+            std::hint::black_box(&keep);
+        }
+        {
+            star_scope::span!("quiet");
+            std::hint::black_box(0u64);
+        }
+    });
+    let noisy = tree.node_at(&["outer", "allocator"]).unwrap().sample;
+    let quiet = tree.node_at(&["outer", "quiet"]).unwrap().sample;
+    assert!(noisy.allocs >= 16, "boxed values counted: {}", noisy.allocs);
+    assert!(
+        noisy.alloc_bytes >= 16 * 1024,
+        "bytes: {}",
+        noisy.alloc_bytes
+    );
+    assert_eq!(quiet.allocs, 0, "quiet span billed for nothing");
+    // The child's allocations are not double-billed to the parent.
+    let outer = tree.node_at(&["outer"]).unwrap().sample;
+    assert!(outer.allocs < noisy.allocs, "exclusive attribution");
+}
+
+#[test]
+fn counting_disabled_bills_nothing() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    star_scope::reset();
+    star_scope::enable();
+    // Counting stays off: spans record time but no allocations.
+    {
+        star_scope::span!("untracked");
+        std::hint::black_box(vec![0u8; 4096]);
+    }
+    star_scope::disable();
+    let tree = star_scope::collect();
+    star_scope::reset();
+    let s = tree.node_at(&["untracked"]).unwrap().sample;
+    assert_eq!(s.allocs, 0);
+    assert_eq!(s.alloc_bytes, 0);
+    assert_eq!(s.count, 1);
+}
+
+#[test]
+fn report_allocs_per_op_reflects_attributed_allocations() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let tree = profiled(|| {
+        star_scope::span!("ops");
+        for _ in 0..10 {
+            std::hint::black_box(Box::new([0u8; 64]));
+        }
+    });
+    let report = ProfileReport::build(&tree, tree.attributed_ns(), 10);
+    assert!(report.allocs >= 10);
+    assert!(report.allocs_per_op() >= 1.0);
+}

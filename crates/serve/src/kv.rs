@@ -157,6 +157,7 @@ impl SecureKv {
     ///   tree bottom-up; its controller model is non-destructive, so the
     ///   store survives with the same contents.
     pub fn crash_recover(&mut self, at_ns: u64, reboot_ns: u64) -> DowntimeSpan {
+        star_scope::span!("serve/recover");
         match &mut self.backend {
             Backend::Engine(slot) => {
                 let mem = *slot.take().expect("engine live");

@@ -187,6 +187,7 @@ pub fn simulate(scheme: ServeScheme, scenario: &Scenario, cfg: &ServeConfig) -> 
             );
             crash_i += 1;
         }
+        star_scope::span!("serve/request");
         let start_ns = server_free_ns.max(r.at_ns);
         if r.at_ns < last_outage_end_ns {
             delayed_by_downtime += 1;

@@ -247,6 +247,7 @@ pub fn run_sharded(spec: &ShardSpec) -> ShardRunReport {
                         let global = epoch_counter.load(Ordering::SeqCst);
                         assert_eq!(global, e, "epoch counter out of lockstep");
                         for lane in &mut owned {
+                            star_scope::span!("shard/lane");
                             lane.run_epoch(global, spec);
                         }
                         if barrier.wait().is_leader() {
@@ -271,6 +272,7 @@ pub fn run_sharded(spec: &ShardSpec) -> ShardRunReport {
 
     // Key-ordered merge (the star-sweep idiom): lanes by index, the
     // epoch log by (epoch, lane) — both independent of the grouping.
+    star_scope::span!("shard/merge");
     outcomes.sort_by_key(|o| o.lane);
     let mut epoch_log: Vec<EpochRecord> = outcomes
         .iter()

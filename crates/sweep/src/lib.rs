@@ -36,6 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod progress;
+
+pub use progress::{progress_enabled, set_progress};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -97,11 +101,16 @@ where
         "sweep keys must be unique"
     );
     let threads = threads.max(1).min(jobs.len().max(1));
+    let meter = progress::Meter::new(jobs.len());
     if threads == 1 {
         return jobs
             .into_iter()
             .map(|(k, j)| {
-                let r = f(&k, &j);
+                let r = {
+                    star_scope::span!("sweep/job");
+                    f(&k, &j)
+                };
+                meter.tick();
                 (k, r)
             })
             .collect();
@@ -117,8 +126,12 @@ where
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some((k, j)) = jobs.get(i) else { break };
-                let r = f(k, j);
+                let r = {
+                    star_scope::span!("sweep/job");
+                    f(k, j)
+                };
                 *slots[i].lock().expect("no poisoned result slot") = Some(r);
+                meter.tick();
             });
         }
     });

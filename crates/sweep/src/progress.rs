@@ -1,0 +1,103 @@
+//! Opt-in stderr progress heartbeat for long sweeps.
+//!
+//! Disabled by default; CLIs turn it on with `--progress` via
+//! [`set_progress`]. The heartbeat writes **only to stderr** — report
+//! bytes on stdout are part of the determinism contract and must never
+//! see a progress line.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Turns the stderr heartbeat on or off (process-wide).
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Whether the heartbeat is currently on.
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Per-sweep completion counter that prints `done/total` to stderr at
+/// most once a second (plus once at the end), from whichever worker
+/// happens to finish a job when a beat is due.
+pub(crate) struct Meter {
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    /// Milliseconds since `start` at the last printed beat.
+    last_beat_ms: AtomicU64,
+}
+
+impl Meter {
+    const CADENCE_MS: u64 = 1_000;
+
+    pub(crate) fn new(total: usize) -> Self {
+        Self {
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            last_beat_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one finished job and prints a beat if one is due.
+    pub(crate) fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !progress_enabled() {
+            return;
+        }
+        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        if done == self.total {
+            // The final beat always prints, so short sweeps still get
+            // one line.
+            self.last_beat_ms.store(elapsed_ms, Ordering::Relaxed);
+            self.print(done, elapsed_ms);
+            return;
+        }
+        let last = self.last_beat_ms.load(Ordering::Relaxed);
+        if elapsed_ms.saturating_sub(last) < Self::CADENCE_MS {
+            return;
+        }
+        // One winner per beat: losers saw a concurrent update and skip.
+        if self
+            .last_beat_ms
+            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.print(done, elapsed_ms);
+        }
+    }
+
+    fn print(&self, done: usize, elapsed_ms: u64) {
+        eprintln!(
+            "[sweep] {done}/{} cases, {:.1}s elapsed",
+            self.total,
+            elapsed_ms as f64 / 1000.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_without_progress_enabled() {
+        let m = Meter::new(3);
+        for _ in 0..3 {
+            m.tick();
+        }
+        assert_eq!(m.done.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn toggle_round_trips() {
+        set_progress(true);
+        assert!(progress_enabled());
+        set_progress(false);
+        assert!(!progress_enabled());
+    }
+}

@@ -10,8 +10,14 @@ checks the Rust golden tests run, kept here in one place so every CI
 smoke job validates artifacts the same way instead of repeating inline
 python heredocs.
 
-Supported kinds: trace, check-report, serve, shard, serve-shard.
-Exits non-zero with a message on the first violated invariant.
+Supported kinds: trace, check-report, serve, shard, serve-shard,
+perf-profile. Exits non-zero with a message on the first violated
+invariant.
+
+For perf-profile documents, `--structure-matches OTHER` additionally
+asserts that two profiles have the identical span-tree structure (the
+ordered (path, depth, count) list), ignoring host-measured timings —
+the determinism CI smoke runs a profile twice and compares this way.
 """
 
 import argparse
@@ -109,12 +115,61 @@ def validate_serve_shard(d, args):
     return f"{len(cells)} cells x {lane_count} lanes balanced"
 
 
+def profile_structure(d):
+    return [(s["path"], s["depth"], s["count"]) for s in d["spans"]]
+
+
+def validate_perf_profile(d, args):
+    spans = d["spans"]
+    assert spans, "no spans recorded"
+    paths = [s["path"] for s in spans]
+    assert paths == sorted(paths), "spans not in sorted pre-order path order"
+    assert len(set(paths)) == len(paths), "duplicate span paths"
+    by_path = {s["path"]: s for s in spans}
+    attributed = 0
+    for s in spans:
+        who = s["path"]
+        segs = who.split(";")
+        assert s["depth"] == len(segs) - 1, who
+        assert s["name"] == segs[-1], who
+        assert s["count"] > 0, who
+        assert 0 <= s["excl_ns"] <= s["incl_ns"], who
+        if s["depth"] == 0:
+            attributed += s["incl_ns"]
+        else:
+            parent = by_path[";".join(segs[:-1])]
+            assert s["incl_ns"] <= parent["incl_ns"], who
+    child_sums = {}
+    for s in spans:
+        if s["depth"] > 0:
+            parent = ";".join(s["path"].split(";")[:-1])
+            child_sums[parent] = child_sums.get(parent, 0) + s["incl_ns"]
+    for path, total in child_sums.items():
+        p = by_path[path]
+        assert total <= p["incl_ns"], path
+        assert p["excl_ns"] == p["incl_ns"] - total, path
+    assert d["attributed_ns"] == attributed, "attributed_ns != sum of roots"
+    assert d["unattributed_ns"] == d["wall_ns"] - d["attributed_ns"]
+    if d["scrubbed"]:
+        assert d["wall_ns"] == 0 and all(s["incl_ns"] == 0 for s in spans)
+    if args.structure_matches is not None:
+        with open(args.structure_matches) as f:
+            other = json.load(f)
+        assert other["kind"] == "perf-profile", other["kind"]
+        assert profile_structure(d) == profile_structure(other), (
+            "span-tree structure differs between the two profiles"
+        )
+        return f"{len(spans)} spans, structure matches {args.structure_matches}"
+    return f"{len(spans)} spans balanced"
+
+
 VALIDATORS = {
     "trace": validate_trace,
     "check-report": validate_check,
     "serve": validate_serve,
     "shard": validate_shard,
     "serve-shard": validate_serve_shard,
+    "perf-profile": validate_perf_profile,
 }
 
 
@@ -124,6 +179,11 @@ def main():
     parser.add_argument("--cases", type=int, help="expected check-report case count")
     parser.add_argument("--cells", type=int, help="expected grid cell count")
     parser.add_argument("--crashes", type=int, help="expected crashes per serve cell")
+    parser.add_argument(
+        "--structure-matches",
+        metavar="OTHER",
+        help="second perf-profile whose span-tree structure must match",
+    )
     args = parser.parse_args()
 
     with open(args.file) as f:

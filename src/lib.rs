@@ -29,6 +29,12 @@
 //!   plans that turn recovery time into user-visible unavailability, and
 //!   schema-v6 `serve` reports with p50/p99/p999 latency per scheme and
 //!   tenant (DESIGN.md §11).
+//! * [`scope`] — a dependency-free host wall-clock profiler: RAII spans
+//!   aggregated into a deterministic path-keyed tree (inclusive/exclusive
+//!   time, call counts, per-span allocation accounting through an opt-in
+//!   counting global allocator), merged key-ordered across worker
+//!   threads, exported as the schema-v7 `perf-profile` document and
+//!   flamegraph-compatible collapsed stacks (DESIGN.md §14).
 //! * [`shard`] — a sharded concurrent secure-memory engine: a fixed
 //!   population of lane-partitioned metadata domains on lane-derived
 //!   SplitMix64 streams, driven by per-shard worker threads under
@@ -56,6 +62,7 @@ pub use star_mem as mem;
 pub use star_metadata as metadata;
 pub use star_nvm as nvm;
 pub use star_prof as prof;
+pub use star_scope as scope;
 pub use star_serve as serve;
 pub use star_shard as shard;
 pub use star_trace as trace;

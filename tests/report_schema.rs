@@ -1,16 +1,16 @@
-//! Golden-file coverage for report schema v6.
+//! Golden-file coverage for report schema v7.
 //!
 //! Committed golden files pin exact report bytes — field order,
 //! escaping, float formatting — so any schema drift shows up as a
 //! reviewable diff instead of silently breaking downstream consumers:
 //!
-//! * `tests/golden/run_report_v6.json` — a canonical
+//! * `tests/golden/run_report_v7.json` — a canonical
 //!   [`RunReport`](star::core::RunReport) (the `run-report` kind);
-//! * `tests/golden/serve_report_v6.json` — a canonical star-serve grid
+//! * `tests/golden/serve_report_v7.json` — a canonical star-serve grid
 //!   (the `serve` kind added in schema 5);
-//! * `tests/golden/shard_report_v6.json` — a canonical star-shard grid
+//! * `tests/golden/shard_report_v7.json` — a canonical star-shard grid
 //!   with a lane crash (the `shard` kind added in schema 6);
-//! * `tests/golden/serve_shard_report_v6.json` — a canonical sharded
+//! * `tests/golden/serve_shard_report_v7.json` — a canonical sharded
 //!   star-serve grid (the `serve-shard` kind added in schema 6).
 //!
 //! Refresh after an *intended* schema change (bumping `SCHEMA_VERSION`
@@ -28,19 +28,19 @@ use star::workloads::WorkloadKind;
 
 const GOLDEN_RUN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/run_report_v6.json"
+    "/tests/golden/run_report_v7.json"
 );
 const GOLDEN_SERVE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/serve_report_v6.json"
+    "/tests/golden/serve_report_v7.json"
 );
 const GOLDEN_SHARD: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/shard_report_v6.json"
+    "/tests/golden/shard_report_v7.json"
 );
 const GOLDEN_SERVE_SHARD: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/serve_shard_report_v6.json"
+    "/tests/golden/serve_shard_report_v7.json"
 );
 
 /// The canonical deterministic run the run-report golden freezes.
