@@ -20,8 +20,9 @@
 use crate::harness::{run_and_crash, run_scheme, ExperimentConfig};
 use crate::profbench::ProfBench;
 use crate::shardbench::{ShardBench, ShardScaleRow};
+use crate::simbench::SimBench;
 use crate::sweepbench::SweepBench;
-use star_core::report::{json_f64, json_str, schema_preamble};
+use star_core::report::{json_f64, json_str, schema_preamble, SCHEMA_VERSION};
 use star_core::triad::{TriadConfig, TriadMemory};
 use star_core::SchemeKind;
 use star_prof::JsonValue;
@@ -114,6 +115,15 @@ pub struct BaselineReport {
     /// committed baseline tolerates of a profiled run; `None` leaves the
     /// allocation rate recorded but ungated.
     pub max_allocs_per_op: Option<f64>,
+    /// The raw-throughput measurement (`--sim-bench`), serialized under
+    /// `"sim_throughput"`.
+    pub sim: Option<SimBench>,
+    /// The pre-campaign reference rate (ops/sec) the committed baseline
+    /// measures speedups against.
+    pub sim_baseline_ops_per_sec: Option<f64>,
+    /// Minimum `ops_per_sec / baseline_ops_per_sec` ratio the committed
+    /// baseline demands of a `--sim-bench` run.
+    pub min_sim_speedup: Option<f64>,
 }
 
 /// The engine schemes in the grid, in row order.
@@ -224,6 +234,9 @@ pub fn run_baseline(cfg: &BaselineConfig) -> BaselineReport {
         min_shard_speedup_4: None,
         profile: None,
         max_allocs_per_op: None,
+        sim: None,
+        sim_baseline_ops_per_sec: None,
+        min_sim_speedup: None,
     }
 }
 
@@ -314,6 +327,32 @@ impl BaselineReport {
             }
             out.push('}');
         }
+        if self.sim.is_some()
+            || self.sim_baseline_ops_per_sec.is_some()
+            || self.min_sim_speedup.is_some()
+        {
+            out.push_str(",\"sim_throughput\":{");
+            let mut first = true;
+            if let Some(sim) = &self.sim {
+                let body = sim.to_json();
+                // Splice the measured fields in without their braces.
+                out.push_str(&body[1..body.len() - 1]);
+                first = false;
+            }
+            for (name, value) in [
+                ("baseline_ops_per_sec", self.sim_baseline_ops_per_sec),
+                ("min_speedup", self.min_sim_speedup),
+            ] {
+                if let Some(value) = value {
+                    if !first {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{name}\":{}", json_f64(value));
+                    first = false;
+                }
+            }
+            out.push('}');
+        }
         out.push('}');
         out
     }
@@ -329,6 +368,18 @@ impl BaselineReport {
         let kind = doc.get("kind").and_then(JsonValue::as_str);
         if kind != Some("bench-baseline") {
             return Err(format!("not a bench-baseline document (kind {kind:?})"));
+        }
+        // A baseline committed under an older report schema compares
+        // stale thresholds against fresh measurements; reject it loudly
+        // instead of silently mixing schema generations.
+        let version = doc.get("schema_version").and_then(JsonValue::as_u64);
+        if version != Some(u64::from(SCHEMA_VERSION)) {
+            let found = version.map_or_else(|| "missing".into(), |v| v.to_string());
+            return Err(format!(
+                "baseline schema_version {found} does not match the current schema \
+                 {SCHEMA_VERSION} — regenerate with `star-bench baseline --out \
+                 bench/baseline.json` (re-pinning its floors) and commit the diff"
+            ));
         }
         let field = |name: &str| {
             doc.get(name)
@@ -456,6 +507,40 @@ impl BaselineReport {
                 profile = Some(ProfBench::from_json(obj)?);
             }
         }
+        let mut sim = None;
+        let mut sim_baseline_ops_per_sec = None;
+        let mut min_sim_speedup = None;
+        if let Some(obj) = doc.get("sim_throughput") {
+            sim_baseline_ops_per_sec = obj.get("baseline_ops_per_sec").and_then(JsonValue::as_f64);
+            min_sim_speedup = obj.get("min_speedup").and_then(JsonValue::as_f64);
+            // The measured fields travel together; "ops_per_sec" marks
+            // their presence (a committed baseline carries only the
+            // reference rate and the floor).
+            if let Some(ops_per_sec) = obj.get("ops_per_sec").and_then(JsonValue::as_f64) {
+                let text_field = |name: &str| {
+                    obj.get(name)
+                        .and_then(JsonValue::as_str)
+                        .map(String::from)
+                        .ok_or_else(|| format!("sim_throughput missing string field {name:?}"))
+                };
+                let int_field = |name: &str| {
+                    obj.get(name)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("sim_throughput missing integer field {name:?}"))
+                };
+                sim = Some(SimBench {
+                    workload: text_field("workload")?,
+                    scheme: text_field("scheme")?,
+                    ops: int_field("ops")?,
+                    reps: int_field("reps")?,
+                    wall_ms: obj
+                        .get("wall_ms")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("sim_throughput missing number field \"wall_ms\"")?,
+                    ops_per_sec,
+                });
+            }
+        }
         Ok(BaselineReport {
             ops,
             seed,
@@ -467,6 +552,9 @@ impl BaselineReport {
             min_shard_speedup_4,
             profile,
             max_allocs_per_op,
+            sim,
+            sim_baseline_ops_per_sec,
+            min_sim_speedup,
         })
     }
 }
@@ -640,6 +728,31 @@ pub fn check(current: &BaselineReport, baseline: &BaselineReport) -> Result<Chec
                 "perf_profile allocs_per_op: {:.2} > allowed {ceiling} \
                  (over {} simulated ops)",
                 profile.allocs_per_op, profile.ops
+            ));
+        }
+    }
+    // The raw-throughput gate: the committed baseline pins the
+    // pre-campaign reference rate and a minimum speedup over it, and a
+    // pinned floor makes the measurement mandatory.
+    if let Some(floor) = baseline.min_sim_speedup {
+        let Some(reference) = baseline.sim_baseline_ops_per_sec else {
+            return Err("baseline pins sim_throughput min_speedup but carries no \
+                 baseline_ops_per_sec reference rate"
+                .into());
+        };
+        let Some(sim) = &current.sim else {
+            return Err(format!(
+                "baseline pins sim_throughput min_speedup {floor}, but the current run \
+                 carries no throughput measurement — re-run with --sim-bench"
+            ));
+        };
+        let speedup = sim.ops_per_sec / reference;
+        if speedup < floor {
+            out.regressions.push(format!(
+                "sim_throughput speedup: {speedup:.2}x < required {floor}x \
+                 ({:.0} ops/s vs the {reference:.0} ops/s pre-campaign reference, \
+                 {}/{} x {} ops)",
+                sim.ops_per_sec, sim.workload, sim.scheme, sim.ops
             ));
         }
     }
@@ -872,6 +985,72 @@ mod tests {
         let verdict = check(&hungry, &baseline).expect("same grid");
         assert!(!verdict.passed());
         assert!(verdict.regressions[0].contains("allocs_per_op"));
+    }
+
+    fn sample_sim() -> SimBench {
+        SimBench {
+            workload: "array".into(),
+            scheme: "star".into(),
+            ops: 40_000,
+            reps: 3,
+            wall_ms: 250.0,
+            ops_per_sec: 480_000.0,
+        }
+    }
+
+    #[test]
+    fn sim_fields_roundtrip_through_json() {
+        let mut report = run_baseline(&tiny());
+        report.sim = Some(sample_sim());
+        report.sim_baseline_ops_per_sec = Some(150_000.0);
+        report.min_sim_speedup = Some(3.0);
+        let parsed = BaselineReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+        // The committed-baseline shape — a reference and a floor with no
+        // measurement — roundtrips too.
+        report.sim = None;
+        let parsed = BaselineReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn sim_floor_gates_the_throughput() {
+        let mut baseline = run_baseline(&tiny());
+        baseline.sim_baseline_ops_per_sec = Some(150_000.0);
+        baseline.min_sim_speedup = Some(3.0);
+        // A pinned floor makes the measurement mandatory.
+        let bare = run_baseline(&tiny());
+        assert!(check(&bare, &baseline).is_err());
+        let mut fast = bare.clone();
+        fast.sim = Some(sample_sim()); // 3.2x
+        assert!(check(&fast, &baseline).expect("same grid").passed());
+        let mut slow = bare.clone();
+        slow.sim = Some(SimBench {
+            ops_per_sec: 300_000.0, // 2.0x
+            ..sample_sim()
+        });
+        let verdict = check(&slow, &baseline).expect("same grid");
+        assert!(!verdict.passed());
+        assert!(verdict.regressions[0].contains("sim_throughput"));
+        // A floor with no reference rate is a baseline authoring error.
+        let mut unreferenced = run_baseline(&tiny());
+        unreferenced.min_sim_speedup = Some(3.0);
+        assert!(check(&fast, &unreferenced).is_err());
+    }
+
+    #[test]
+    fn stale_schema_versions_are_rejected() {
+        let current = run_baseline(&tiny()).to_json();
+        let prefix = format!("{{\"schema_version\":{SCHEMA_VERSION},");
+        assert!(current.starts_with(&prefix), "preamble shape changed");
+        let stale = current.replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION},"),
+            "\"schema_version\":6,",
+            1,
+        );
+        let err = BaselineReport::from_json(&stale).expect_err("stale version rejected");
+        assert!(err.contains("schema_version 6"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE]
 //!                     [--check FILE] [--sweep-bench] [--sweep-ops N]
-//!                     [--shard-bench] [--shard-ops N] [--progress]
+//!                     [--shard-bench] [--shard-ops N] [--sim-bench]
+//!                     [--sim-ops N] [--profile-bench] [--progress]
 //! star-bench profile  [--ops N] [--seed S] [--alloc] [--top N]
 //!                     [--json FILE] [--collapsed FILE] [--out FILE]
 //! star-bench check    [--cases N] [--seed S] [--threads T] [--ops-max N]
@@ -28,7 +29,14 @@
 //! likewise times the 8-lane star-shard run at 1/2/4/8 worker shards
 //! (asserting byte-identical reports) and records the scaling rows
 //! under `"shard_scaling"`, gated by the baseline's
-//! `min_speedup_2shard` / `min_speedup_4shard` floors.
+//! `min_speedup_2shard` / `min_speedup_4shard` floors. `--sim-bench`
+//! times raw array/star throughput and records it under
+//! `"sim_throughput"`, gated by the baseline's pinned
+//! `baseline_ops_per_sec` reference and `min_speedup` floor.
+//! `--profile-bench` runs the grid under the `star-scope` profiler with
+//! allocation accounting (identical simulated rows, serial jobs) so a
+//! pinned `max_allocs_per_op` ceiling can be checked in the same
+//! invocation.
 //!
 //! `check` is the property-based differential checker (`star-check`):
 //! `--cases N` seeded random programs run through every scheme engine
@@ -77,6 +85,7 @@
 use star_bench::baseline::{check, run_baseline, BaselineConfig, BaselineReport};
 use star_bench::profbench::run_prof_bench;
 use star_bench::shardbench::{run_shard_bench, SHARD_BENCH_OPS};
+use star_bench::simbench::{run_sim_bench, SIM_BENCH_OPS};
 use star_bench::sweepbench::{run_sweep_bench, SWEEP_BENCH_OPS};
 use star_check::{run_check, CheckConfig, Program};
 use star_core::report::schema_preamble;
@@ -94,7 +103,8 @@ static ALLOC: star_scope::StarAlloc = star_scope::StarAlloc::new();
 fn usage() -> ! {
     eprintln!(
         "usage: star-bench baseline [--ops N] [--seed S] [--jobs J] [--out FILE] [--check FILE] \
-         [--sweep-bench] [--sweep-ops N] [--shard-bench] [--shard-ops N] [--progress]\n\
+         [--sweep-bench] [--sweep-ops N] [--shard-bench] [--shard-ops N] [--sim-bench] \
+         [--sim-ops N] [--profile-bench] [--progress]\n\
          \x20      star-bench profile [--ops N] [--seed S] [--alloc] [--top N] [--json FILE] \
          [--collapsed FILE] [--out FILE]\n\
          \x20      star-bench check [--cases N] [--seed S] [--threads T] [--ops-max N] \
@@ -430,6 +440,9 @@ fn baseline_cmd(args: &[String]) {
     let mut sweep_ops = SWEEP_BENCH_OPS;
     let mut shard_bench = false;
     let mut shard_ops = SHARD_BENCH_OPS;
+    let mut sim_bench = false;
+    let mut sim_ops = SIM_BENCH_OPS;
+    let mut profile_bench = false;
     while i < args.len() {
         match args[i].as_str() {
             "--ops" => cfg.ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
@@ -441,6 +454,9 @@ fn baseline_cmd(args: &[String]) {
             "--sweep-ops" => sweep_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--shard-bench" => shard_bench = true,
             "--shard-ops" => shard_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--sim-bench" => sim_bench = true,
+            "--sim-ops" => sim_ops = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--profile-bench" => profile_bench = true,
             "--progress" => star_sweep::set_progress(true),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -452,7 +468,33 @@ fn baseline_cmd(args: &[String]) {
         "baseline: {} ops, seed {}, {} job(s)...",
         cfg.ops, cfg.seed, cfg.jobs
     );
-    let mut report = run_baseline(&cfg);
+    let mut report = if profile_bench {
+        // Run the grid under span recording + allocation accounting so
+        // the gate can enforce a pinned max_allocs_per_op ceiling in the
+        // same invocation. Serial for attribution (see `profile_cmd`);
+        // the simulated rows are identical either way.
+        cfg.jobs = 1;
+        let run = run_prof_bench(&cfg, true);
+        println!(
+            "perf_profile: {:.2} allocs/op over {} simulated ops",
+            run.summary.allocs_per_op, run.summary.ops
+        );
+        let mut report = run.baseline;
+        report.profile = Some(run.summary);
+        report
+    } else {
+        run_baseline(&cfg)
+    };
+
+    if sim_bench {
+        eprintln!("sim_throughput: timing array/star at {sim_ops} ops per rep...");
+        let sim = run_sim_bench(sim_ops, cfg.seed);
+        println!(
+            "sim_throughput: {} x {} ops in {:.1} ms -> {:.0} ops/sec",
+            sim.reps, sim.ops, sim.wall_ms, sim.ops_per_sec
+        );
+        report.sim = Some(sim);
+    }
 
     if sweep_bench {
         eprintln!("crash_sweep_fork: exhaustive {sweep_ops}-op star/ckpt sweep, fork vs replay...");

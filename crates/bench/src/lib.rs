@@ -16,6 +16,7 @@ pub mod microbench;
 pub mod paper;
 pub mod profbench;
 pub mod shardbench;
+pub mod simbench;
 pub mod sweepbench;
 
 pub use baseline::{check, run_baseline, BaselineConfig, BaselineReport, CheckReport};
@@ -25,4 +26,5 @@ pub use shardbench::{
     run_shard_bench, ShardBench, ShardScaleRow, SHARD_BENCH_COUNTS, SHARD_BENCH_LANES,
     SHARD_BENCH_OPS,
 };
+pub use simbench::{run_sim_bench, SimBench, SIM_BENCH_OPS, SIM_BENCH_REPS};
 pub use sweepbench::{run_sweep_bench, sweep_explorer, CkptWorkload, SweepBench, SWEEP_BENCH_OPS};

@@ -1,0 +1,137 @@
+//! The `sim_throughput` wall-clock bench: raw simulator operations per
+//! second on the array×star cell.
+//!
+//! Every experiment in the repo — faultsim sweeps, star-check fuzzing,
+//! serve horizons, shard scaling — is bounded by how fast one engine can
+//! chew through one workload, so this bench times exactly that:
+//! [`run_sim_bench`] runs the star scheme over the array workload
+//! (the paper's headline cell) for [`SIM_BENCH_REPS`] timed repetitions
+//! after one untimed warm-up, and reports the aggregate operations per
+//! second. The committed `bench/baseline.json` pins the pre-campaign
+//! reference rate (`baseline_ops_per_sec`, measured before the hot-path
+//! work of ISSUE 10) together with a `min_speedup` floor, and
+//! [`check`](crate::baseline::check) fails the gate when
+//! `ops_per_sec / baseline_ops_per_sec` drops below the floor — so the
+//! throughput win can never silently regress.
+//!
+//! Wall clocks are machine-dependent; like the crash-sweep and
+//! shard-scaling gates, the floor is an absolute ratio against a
+//! reference measured on the same class of host (CI runners), not a
+//! relative diff of two fresh runs.
+
+use crate::harness::{run_scheme, ExperimentConfig};
+use star_core::report::{json_f64, json_str};
+use star_core::SchemeKind;
+use star_workloads::WorkloadKind;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Default operations per timed repetition: long enough that per-op
+/// engine work dominates engine construction and timer granularity.
+pub const SIM_BENCH_OPS: usize = 40_000;
+
+/// Timed repetitions (after one untimed warm-up).
+pub const SIM_BENCH_REPS: usize = 3;
+
+/// One throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimBench {
+    /// Workload label the bench ran.
+    pub workload: String,
+    /// Scheme label the bench ran.
+    pub scheme: String,
+    /// Operations per timed repetition.
+    pub ops: u64,
+    /// Timed repetitions.
+    pub reps: u64,
+    /// Total wall-clock milliseconds across the timed repetitions.
+    pub wall_ms: f64,
+    /// Simulated operations per second (`ops * reps / wall`).
+    pub ops_per_sec: f64,
+}
+
+impl SimBench {
+    /// The measurement as the byte-stable JSON object embedded under
+    /// `"sim_throughput"` in a baseline report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"workload\":{},\"scheme\":{},\"ops\":{},\"reps\":{},\
+             \"wall_ms\":{},\"ops_per_sec\":{}}}",
+            json_str(&self.workload),
+            json_str(&self.scheme),
+            self.ops,
+            self.reps,
+            json_f64(self.wall_ms),
+            json_f64(self.ops_per_sec),
+        );
+        out
+    }
+}
+
+/// Times the array×star cell and returns the measured throughput row.
+///
+/// The workload/scheme pair and the per-rep checksum of the run reports
+/// are fixed: every repetition must produce the same report as the
+/// warm-up run (the determinism contract), which also keeps the
+/// optimizer from eliding the simulated work.
+///
+/// # Panics
+///
+/// Panics if any timed repetition's report diverges from the warm-up's —
+/// a throughput number for a non-deterministic simulator is meaningless.
+pub fn run_sim_bench(ops: usize, seed: u64) -> SimBench {
+    let exp = ExperimentConfig {
+        ops,
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let scheme = SchemeKind::Star;
+    let workload = WorkloadKind::Array;
+    let reference = run_scheme(scheme, workload, &exp).to_json();
+    let start = Instant::now();
+    for rep in 0..SIM_BENCH_REPS {
+        let report = run_scheme(scheme, workload, &exp);
+        assert_eq!(
+            report.to_json(),
+            reference,
+            "rep {rep} diverged from the warm-up run"
+        );
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let total_ops = (ops * SIM_BENCH_REPS) as f64;
+    SimBench {
+        workload: workload.label().into(),
+        scheme: scheme.label().into(),
+        ops: ops as u64,
+        reps: SIM_BENCH_REPS as u64,
+        wall_ms,
+        ops_per_sec: if wall_ms > 0.0 {
+            total_ops / (wall_ms / 1e3)
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_bench_measures_a_real_run() {
+        // Small enough to stay fast; the gated measurement runs the
+        // full-size bench in CI via `baseline --sim-bench`.
+        let row = run_sim_bench(300, 7);
+        assert_eq!(row.workload, "array");
+        assert_eq!(row.scheme, "star");
+        assert_eq!(row.ops, 300);
+        assert_eq!(row.reps, SIM_BENCH_REPS as u64);
+        assert!(row.wall_ms > 0.0);
+        assert!(row.ops_per_sec > 0.0);
+        let json = row.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ops_per_sec\":"));
+    }
+}

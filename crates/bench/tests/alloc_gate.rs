@@ -1,0 +1,74 @@
+//! End-to-end proof that the `max_allocs_per_op` ceiling in
+//! `bench/baseline.json` is a live gate, not a vacuous one.
+//!
+//! This binary installs [`star_scope::StarAlloc`] as its global
+//! allocator (like the `star-bench` binary does), profiles the canonical
+//! grid twice — once clean, once with a deliberate extra allocation
+//! injected into the engine's per-op loop — and asserts that the
+//! committed ceiling of 2 allocs/op passes the first run and fails the
+//! second through the same [`star_bench::check`] path CI uses.
+//!
+//! Profiling and allocation accounting are process-global, so the whole
+//! scenario lives in one `#[test]`.
+
+use star_bench::{check, run_prof_bench, BaselineConfig};
+
+#[global_allocator]
+static ALLOC: star_scope::StarAlloc = star_scope::StarAlloc::new();
+
+/// The ceiling committed in `bench/baseline.json`.
+const CEILING: f64 = 2.0;
+
+#[test]
+fn alloc_ceiling_gate_catches_an_injected_per_op_allocation() {
+    let cfg = BaselineConfig::default();
+
+    // Clean run: the op loop must stay within the committed ceiling.
+    let clean = run_prof_bench(&cfg, true);
+    assert!(
+        clean.summary.allocs_per_op <= CEILING,
+        "hot loop regressed: {:.2} allocs/op exceeds the committed ceiling {CEILING}",
+        clean.summary.allocs_per_op
+    );
+
+    // A committed-baseline stand-in: same grid, ceiling pinned.
+    let mut baseline = clean.baseline.clone();
+    baseline.max_allocs_per_op = Some(CEILING);
+
+    let mut current = clean.baseline.clone();
+    current.profile = Some(clean.summary.clone());
+    let verdict = check(&current, &baseline).expect("same grid");
+    assert!(
+        verdict.passed(),
+        "clean profiled run must pass the ceiling: {:?}",
+        verdict.regressions
+    );
+
+    // Sabotaged run: one extra allocation per simulated op must push the
+    // measured rate over the ceiling and fail the same gate.
+    star_core::set_test_alloc_injection(true);
+    let dirty = run_prof_bench(&cfg, true);
+    star_core::set_test_alloc_injection(false);
+    assert!(
+        dirty.summary.allocs_per_op > clean.summary.allocs_per_op,
+        "injection must be visible to the accounting ({:.2} -> {:.2})",
+        clean.summary.allocs_per_op,
+        dirty.summary.allocs_per_op
+    );
+    assert!(
+        dirty.summary.allocs_per_op > CEILING,
+        "injected rate {:.2} should exceed the ceiling {CEILING}",
+        dirty.summary.allocs_per_op
+    );
+    current.profile = Some(dirty.summary);
+    let verdict = check(&current, &baseline).expect("same grid");
+    assert!(!verdict.passed(), "sabotaged run must fail the gate");
+    assert!(
+        verdict
+            .regressions
+            .iter()
+            .any(|r| r.contains("allocs_per_op")),
+        "the failure must name the allocation gate: {:?}",
+        verdict.regressions
+    );
+}

@@ -41,7 +41,7 @@ use std::collections::HashMap;
 
 /// A metadata node resident in the metadata cache, with the per-slot
 /// increment counts that drive STAR's forced flush at `2^10` increments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 struct CachedNode {
     node: Node64,
     /// Counter increments since this node was last clean, per slot.
@@ -526,7 +526,14 @@ impl SecureMemory {
         match op {
             MemSideOp::Fill { line } => {
                 let version = self.secure_data_fill(line);
-                self.hierarchy.set_version_clean(line, version);
+                // version 0 would be a no-op patch: the miss path installed
+                // the line with version 0 (clean) in every level, and
+                // write-allocate copies are dirty, which fill_clean refuses
+                // to touch. Most fills read never-written (zero) lines, so
+                // this skips three cache probes on the common path.
+                if version != 0 {
+                    self.hierarchy.set_version_clean(line, version);
+                }
             }
             MemSideOp::WriteBack { line, version } => self.secure_data_write(line, version),
             MemSideOp::Barrier => {
@@ -789,15 +796,14 @@ impl SecureMemory {
     /// Moves every pinned line mapping to `flat`'s set to MRU so the LRU
     /// victim is never a pinned line.
     fn shield_pins(&mut self, flat: u64) {
-        let sets = self.meta_cache.num_sets() as u64;
-        let pins: Vec<u64> = self
-            .pins
-            .iter()
-            .copied()
-            .filter(|p| p % sets == flat % sets)
-            .collect();
-        for p in pins {
-            self.meta_cache.touch(p);
+        // Split borrows (pins read-only, cache mutable) keep this loop
+        // allocation-free on the per-insert path.
+        let cache = &mut self.meta_cache;
+        let sets = cache.num_sets() as u64;
+        for &p in &self.pins {
+            if p % sets == flat % sets {
+                cache.touch(p);
+            }
         }
     }
 
@@ -1185,9 +1191,26 @@ const _: () = {
     assert_send::<crate::stats::RunReport>();
 };
 
+/// Test-only sabotage switch for the allocation-rate gate: when set, the
+/// op loop performs one deliberate heap allocation per event. The gate
+/// tests flip this to prove the committed `max_allocs_per_op` ceiling
+/// actually fails a run that regresses, rather than passing vacuously.
+/// Off by default; the hot path pays one relaxed load.
+static INJECT_ALLOC_PER_OP: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Enables or disables the per-op allocation injection (process-global;
+/// intended only for tests of the allocation gate).
+pub fn set_test_alloc_injection(on: bool) {
+    INJECT_ALLOC_PER_OP.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
 impl TraceSink for SecureMemory {
     fn on_event(&mut self, event: MemEvent) {
         star_scope::span!("engine/op");
+        if INJECT_ALLOC_PER_OP.load(std::sync::atomic::Ordering::Relaxed) {
+            std::hint::black_box(Box::new(0u64));
+        }
         if let MemEvent::Work { count } = event {
             self.core.retire_instructions(count);
             return;

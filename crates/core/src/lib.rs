@@ -50,7 +50,7 @@ pub mod stats;
 pub mod triad;
 
 pub use config::{ConfigError, SchemeKind, SecureMemConfig, SecureMemConfigBuilder};
-pub use engine::SecureMemory;
+pub use engine::{set_test_alloc_injection, SecureMemory};
 pub use persist::{CrashPlan, CrashRequested, FaultKind, PersistPoint, PersistPointKind};
 pub use recovery::{
     recover, recover_traced, Attack, CrashImage, DowntimeLedger, DowntimeSpan, RecoveryError,

@@ -28,7 +28,10 @@
 //! assert!(mac.as_u64() < (1 << 54));
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the hardware
+// AES-NI round path in `aes`, which needs `core::arch` intrinsics and
+// carries its own scoped allow plus a runtime feature gate.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;

@@ -87,42 +87,79 @@ impl core::fmt::LowerHex for Mac54 {
 /// let b = MacInput::new().u64(2).u64(1).mac54(&key);
 /// assert_ne!(a, b);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct MacInput {
-    buf: Vec<u8>,
+    len: usize,
+    buf: [u8; MAC_INPUT_CAP],
+}
+
+/// Inline serialization capacity: MAC inputs are built on the engine's
+/// per-write path, so the builder keeps its bytes on the stack instead
+/// of heap-allocating. The largest real input is a node MAC (~109
+/// bytes); tests feed data fields up to 256 bytes (tag + length + data
+/// = 265), and the capacity leaves headroom above that.
+const MAC_INPUT_CAP: usize = 320;
+
+impl Default for MacInput {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for MacInput {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MacInput").field("len", &self.len).finish()
+    }
 }
 
 impl MacInput {
     /// Creates an empty input.
     pub fn new() -> Self {
         Self {
-            buf: Vec::with_capacity(96),
+            len: 0,
+            buf: [0; MAC_INPUT_CAP],
         }
+    }
+
+    /// Appends raw bytes to the serialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input exceeds [`MAC_INPUT_CAP`] — every caller
+    /// serializes a bounded field set, so overflow is a programming
+    /// error, not a runtime condition.
+    fn push(&mut self, bytes: &[u8]) {
+        let end = self.len + bytes.len();
+        assert!(
+            end <= MAC_INPUT_CAP,
+            "MAC input overflow: {end} bytes exceeds the {MAC_INPUT_CAP}-byte \
+             inline capacity — raise MAC_INPUT_CAP"
+        );
+        self.buf[self.len..end].copy_from_slice(bytes);
+        self.len = end;
     }
 
     /// Appends a 64-bit field.
     pub fn u64(mut self, value: u64) -> Self {
-        self.buf.push(0x01);
-        self.buf.extend_from_slice(&value.to_le_bytes());
+        self.push(&[0x01]);
+        self.push(&value.to_le_bytes());
         self
     }
 
     /// Appends a byte-string field (length-prefixed).
     pub fn bytes(mut self, data: &[u8]) -> Self {
-        self.buf.push(0x02);
-        self.buf
-            .extend_from_slice(&(data.len() as u64).to_le_bytes());
-        self.buf.extend_from_slice(data);
+        self.push(&[0x02]);
+        self.push(&(data.len() as u64).to_le_bytes());
+        self.push(data);
         self
     }
 
     /// Appends a slice of 64-bit fields (e.g. the eight counters of a node).
     pub fn u64s(mut self, values: &[u64]) -> Self {
-        self.buf.push(0x03);
-        self.buf
-            .extend_from_slice(&(values.len() as u64).to_le_bytes());
+        self.push(&[0x03]);
+        self.push(&(values.len() as u64).to_le_bytes());
         for v in values {
-            self.buf.extend_from_slice(&v.to_le_bytes());
+            self.push(&v.to_le_bytes());
         }
         self
     }
@@ -130,7 +167,7 @@ impl MacInput {
     /// Finalizes into a full 64-bit hash.
     pub fn hash64(&self, key: &MacKey) -> u64 {
         star_scope::span!("crypto/mac");
-        key.hash_bytes(&self.buf)
+        key.hash_bytes(&self.buf[..self.len])
     }
 
     /// Finalizes into a 54-bit MAC.

@@ -62,6 +62,7 @@ impl Sha256 {
 
     /// Feeds `data` into the hash.
     pub fn update(&mut self, data: &[u8]) {
+        star_scope::span!("crypto/sha256");
         self.length_bytes = self.length_bytes.wrapping_add(data.len() as u64);
         let mut rest = data;
         if self.buffered > 0 {
@@ -92,12 +93,20 @@ impl Sha256 {
 
     /// Consumes the hasher and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
+        star_scope::span!("crypto/sha256");
         let bit_len = self.length_bytes.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buffered != 56 {
-            self.update(&[0]);
+        // Build the padded tail in place: 0x80, zeros to the length field.
+        // If the marker lands past byte 55 the length spills into a second
+        // block.
+        self.buffer[self.buffered] = 0x80;
+        for b in &mut self.buffer[self.buffered + 1..] {
+            *b = 0;
         }
-        // `update` would double-count the length bytes; splice them in by hand.
+        if self.buffered >= 56 {
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer = [0; 64];
+        }
         self.buffer[56..].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
         self.compress(&block);
@@ -109,7 +118,6 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        star_scope::span!("crypto/sha256");
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes(chunk.try_into().unwrap());

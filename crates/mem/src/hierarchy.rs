@@ -217,12 +217,7 @@ impl CacheHierarchy {
     /// not be clobbered by the fill's older data.
     pub fn set_version_clean(&mut self, line: u64, version: u64) {
         for cache in [&mut self.l1, &mut self.l2, &mut self.l3] {
-            if cache.contains(line) && !cache.is_dirty(line) {
-                if let Some(v) = cache.get_mut(line) {
-                    *v = version;
-                }
-                cache.set_dirty(line, false);
-            }
+            cache.fill_clean(line, version);
         }
     }
 
@@ -247,29 +242,27 @@ impl CacheHierarchy {
     }
 
     fn write(&mut self, line: u64, version: u64, out: &mut Vec<MemSideOp>) {
+        // Update (and dirty) in every level where resident; `update` is a
+        // no-op probe where it isn't.
+        let in_l1 = self.l1.update(line, version, true);
+        let in_l2 = self.l2.update(line, version, true);
+        let in_l3 = self.l3.update(line, version, true);
         // Write-allocate: a miss fills the line first.
-        if !self.l1.contains(line) && !self.l2.contains(line) && !self.l3.contains(line) {
+        if !in_l1 && !in_l2 && !in_l3 {
             self.stats.llc_misses += 1;
             out.push(MemSideOp::Fill { line });
             self.fill_all(line, version, true, out);
             return;
         }
-        // Hit somewhere: update (and dirty) in every level where resident,
-        // pulling into L1.
-        if self.l1.contains(line) {
+        if in_l1 {
             self.stats.l1_hits += 1;
-        } else if self.l2.contains(line) {
+        } else if in_l2 {
             self.stats.l2_hits += 1;
         } else {
             self.stats.l3_hits += 1;
         }
-        for cache in [&mut self.l1, &mut self.l2, &mut self.l3] {
-            if let Some(v) = cache.get_mut(line) {
-                *v = version;
-                cache.set_dirty(line, true);
-            }
-        }
-        if !self.l1.contains(line) {
+        if !in_l1 {
+            // Hit below L1: pull into L1.
             let out_of = self.l1.insert(line, version, true);
             Self::spill(
                 out_of.evicted,
@@ -284,9 +277,8 @@ impl CacheHierarchy {
     fn clwb(&mut self, line: u64, out: &mut Vec<MemSideOp>) {
         let mut version = None;
         for cache in [&mut self.l1, &mut self.l2, &mut self.l3] {
-            if cache.is_dirty(line) {
-                version = Some(*cache.peek(line).expect("dirty implies resident"));
-                cache.set_dirty(line, false);
+            if let Some(&v) = cache.clean_if_dirty(line) {
+                version = Some(v);
             }
         }
         if let Some(v) = version {
@@ -296,8 +288,7 @@ impl CacheHierarchy {
     }
 
     fn fill_into_l1(&mut self, line: u64, out: &mut Vec<MemSideOp>) {
-        let version = *self.l2.peek(line).expect("hit in l2");
-        let dirty = self.l2.is_dirty(line);
+        let (&version, dirty) = self.l2.peek_entry(line).expect("hit in l2");
         let res = self.l1.insert(line, version, dirty);
         Self::spill(
             res.evicted,
@@ -309,8 +300,7 @@ impl CacheHierarchy {
     }
 
     fn fill_into_l1_l2(&mut self, line: u64, out: &mut Vec<MemSideOp>) {
-        let version = *self.l3.peek(line).expect("hit in l3");
-        let dirty = self.l3.is_dirty(line);
+        let (&version, dirty) = self.l3.peek_entry(line).expect("hit in l3");
         let res2 = self.l2.insert(line, version, dirty);
         if let Some(ev) = res2.evicted {
             Self::spill_to_l3(ev, &mut self.l3, &mut self.stats, out);
@@ -369,9 +359,7 @@ impl CacheHierarchy {
         if !ev.dirty {
             return;
         }
-        if l2.contains(ev.addr) {
-            *l2.get_mut(ev.addr).expect("contains") = ev.value;
-            l2.set_dirty(ev.addr, true);
+        if l2.update(ev.addr, ev.value, true) {
             return;
         }
         let res = l2.insert(ev.addr, ev.value, true);
@@ -390,9 +378,7 @@ impl CacheHierarchy {
         if !ev.dirty {
             return;
         }
-        if l3.contains(ev.addr) {
-            *l3.get_mut(ev.addr).expect("contains") = ev.value;
-            l3.set_dirty(ev.addr, true);
+        if l3.update(ev.addr, ev.value, true) {
             return;
         }
         let res = l3.insert(ev.addr, ev.value, true);

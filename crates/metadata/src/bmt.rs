@@ -40,11 +40,17 @@ fn hash_leaf(data: &[u8]) -> BmtHash {
 }
 
 fn hash_children(children: &[BmtHash]) -> BmtHash {
-    let mut h = Sha256::new();
-    h.update(b"node");
+    // Flatten tag + children into one buffer so the hasher sees whole
+    // 64-byte blocks instead of 32-byte fragments it has to re-buffer.
+    let mut buf = [0u8; 4 + BMT_ARITY * 32];
+    buf[..4].copy_from_slice(b"node");
+    let mut len = 4;
     for c in children {
-        h.update(c);
+        buf[len..len + 32].copy_from_slice(c);
+        len += 32;
     }
+    let mut h = Sha256::new();
+    h.update(&buf[..len]);
     h.finalize()
 }
 

@@ -221,8 +221,16 @@ impl NvmDevice {
         self.clone()
     }
 
+    #[inline]
     fn bank_of(&self, addr: LineAddr) -> usize {
-        (addr.index() % self.cfg.banks as u64) as usize
+        let banks = self.cfg.banks as u64;
+        if banks.is_power_of_two() {
+            // The default geometries interleave over a power-of-two bank
+            // count; a mask avoids a hardware divide on every access.
+            (addr.index() & (banks - 1)) as usize
+        } else {
+            (addr.index() % banks) as usize
+        }
     }
 
     /// Pops retired writes from the queue as of `now`.

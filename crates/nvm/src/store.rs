@@ -1,7 +1,9 @@
-//! The sparse 64-byte line store and line/address types.
+//! The sparse paged 64-byte line store and line/address types.
 
 use crate::LINE_BYTES;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 /// A 64-byte memory line — the granularity of every access in the model
@@ -119,26 +121,133 @@ impl From<u64> for LineAddr {
 /// `O(footprint / MAX_LAYERS)` per freeze.
 const MAX_LAYERS: usize = 64;
 
+/// Lines per page: the store maps `addr >> PAGE_SHIFT` to a fixed 64-line
+/// frame and indexes the low bits directly, so the hot read/write path
+/// pays one hash probe per *page* touch instead of one per line.
+pub(crate) const PAGE_SHIFT: u32 = 6;
+
+/// Number of lines in one page frame.
+pub(crate) const PAGE_LINES: usize = 1 << PAGE_SHIFT;
+
+/// Mask extracting the in-page slot from a line index.
+pub(crate) const SLOT_MASK: u64 = PAGE_LINES as u64 - 1;
+
+/// Splits a line address into its page index and in-page slot.
+#[inline]
+fn split(addr: LineAddr) -> (u64, usize) {
+    (
+        addr.index() >> PAGE_SHIFT,
+        (addr.index() & SLOT_MASK) as usize,
+    )
+}
+
+/// A fixed frame of [`PAGE_LINES`] lines plus a residency bitmap.
+///
+/// Bit `s` of `resident` says whether slot `s` holds a written line;
+/// non-resident slots fall through to older layers (or read as zero), so
+/// a page never claims lines it was not explicitly given — an explicit
+/// zero write sets its bit and shadows older content, exactly like the
+/// per-line map it replaces.
+#[derive(Clone)]
+struct Page {
+    resident: u64,
+    lines: [Line; PAGE_LINES],
+}
+
+impl Page {
+    fn new() -> Self {
+        Page {
+            resident: 0,
+            lines: [Line::ZERO; PAGE_LINES],
+        }
+    }
+
+    #[inline]
+    fn get(&self, slot: usize) -> Option<Line> {
+        if self.resident >> slot & 1 == 1 {
+            Some(self.lines[slot])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize, line: Line) {
+        self.resident |= 1 << slot;
+        self.lines[slot] = line;
+    }
+}
+
+impl core::fmt::Debug for Page {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Page({} resident)", self.resident.count_ones())
+    }
+}
+
+/// Deterministic multiply–xor hasher for page indices.
+///
+/// Page indices are small and dense, so the default `RandomState`
+/// (SipHash with per-process random keys) is both slower than needed on
+/// the hot path and non-reproducible across runs, which would let map
+/// iteration order leak into reports. One odd-constant multiply with a
+/// high-bit fold is plenty for `u64` keys and makes iteration order a
+/// pure function of the insert sequence.
+#[derive(Default)]
+pub(crate) struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // Multiplication pushes entropy toward the high bits; fold them
+        // down for the table's low-bit bucket index.
+        self.0 ^ (self.0 >> 31)
+    }
+}
+
+pub(crate) type PageHash = BuildHasherDefault<PageHasher>;
+
+/// One immutable-or-private map from page index to page frame.
+type PageMap = HashMap<u64, Arc<Page>, PageHash>;
+
+/// Folds each page's residency bitmap into `resident`, keyed by page
+/// index — the union view used by footprint and iteration.
+fn union_resident(resident: &mut HashMap<u64, u64, PageHash>, map: &PageMap) {
+    for (idx, page) in map.iter() {
+        *resident.entry(*idx).or_insert(0) |= page.resident;
+    }
+}
+
 /// A sparse, copy-on-write store of 64-byte lines.
 ///
-/// NVM starts zeroed; only written lines consume host memory, which lets
+/// NVM starts zeroed; only written pages consume host memory, which lets
 /// the model keep the full 16 GB geometry of the paper's system.
 ///
 /// Internally the store is a stack of immutable, reference-counted
-/// *layers* (oldest first) plus one private mutable *delta*. Reads probe
-/// the delta, then the layers newest-to-oldest; writes always land in the
-/// delta. [`LineStore::fork`] freezes the delta into a shared layer and
-/// clones the stack, so a fork costs `O(dirty-delta)` — lines written
-/// since the last freeze — rather than `O(footprint)`, and all frozen
-/// lines are structurally shared between the fork and its parent. This is
-/// what makes whole-engine snapshots cheap enough to take at every
-/// persist point during crash-schedule exploration.
+/// *layers* (oldest first) plus one private mutable *delta*; each layer
+/// maps page indices (`addr >> PAGE_SHIFT`) to reference-counted 64-line
+/// frames with residency bitmaps. Reads probe the delta, then the layers
+/// newest-to-oldest; writes always land in the delta (cloning a frame
+/// only if it is shared). [`LineStore::fork`] freezes the delta into a
+/// shared layer and clones the stack, so a fork costs `O(dirty-pages)` —
+/// pages written since the last freeze — rather than `O(footprint)`, and
+/// all frozen pages are structurally shared between the fork and its
+/// parent. This is what makes whole-engine snapshots cheap enough to take
+/// at every persist point during crash-schedule exploration.
 #[derive(Debug, Default, Clone)]
 pub struct LineStore {
     /// Immutable shared layers, oldest first; newer layers shadow older.
-    layers: Vec<Arc<HashMap<LineAddr, Line>>>,
+    layers: Vec<Arc<PageMap>>,
     /// Private mutable overlay holding writes since the last freeze.
-    delta: HashMap<LineAddr, Line>,
+    delta: PageMap,
 }
 
 impl LineStore {
@@ -149,12 +258,17 @@ impl LineStore {
 
     /// Reads the line at `addr` (zero if never written).
     pub fn read(&self, addr: LineAddr) -> Line {
-        if let Some(line) = self.delta.get(&addr) {
-            return *line;
+        let (idx, slot) = split(addr);
+        if let Some(page) = self.delta.get(&idx) {
+            if let Some(line) = page.get(slot) {
+                return line;
+            }
         }
         for layer in self.layers.iter().rev() {
-            if let Some(line) = layer.get(&addr) {
-                return *line;
+            if let Some(page) = layer.get(&idx) {
+                if let Some(line) = page.get(slot) {
+                    return line;
+                }
             }
         }
         Line::ZERO
@@ -164,12 +278,17 @@ impl LineStore {
     pub fn write(&mut self, addr: LineAddr, line: Line) {
         // Writing an explicit zero line still has to be remembered — the
         // previous content may have been non-zero.
-        self.delta.insert(addr, line);
+        let (idx, slot) = split(addr);
+        let page = self
+            .delta
+            .entry(idx)
+            .or_insert_with(|| Arc::new(Page::new()));
+        Arc::make_mut(page).set(slot, line);
     }
 
     /// Freezes the private delta into a new shared immutable layer, so a
-    /// subsequent `Clone` is `O(dirty-delta)` and shares every frozen
-    /// line with the parent. Compacts the layer stack once it exceeds
+    /// subsequent `Clone` is `O(dirty-pages)` and shares every frozen
+    /// page with the parent. Compacts the layer stack once it exceeds
     /// `MAX_LAYERS` to keep reads bounded.
     pub fn freeze(&mut self) {
         if !self.delta.is_empty() {
@@ -182,11 +301,27 @@ impl LineStore {
     }
 
     /// Merges all frozen layers into a single layer (newest wins).
+    ///
+    /// Pages that appear in only one layer are reused by reference; only
+    /// pages shadowed across layers are merged slot-by-slot.
     fn compact(&mut self) {
-        let mut merged: HashMap<LineAddr, Line> = HashMap::new();
+        let mut merged = PageMap::default();
         for layer in &self.layers {
-            for (addr, line) in layer.iter() {
-                merged.insert(*addr, *line);
+            for (idx, page) in layer.iter() {
+                match merged.entry(*idx) {
+                    Entry::Vacant(v) => {
+                        v.insert(Arc::clone(page));
+                    }
+                    Entry::Occupied(mut o) => {
+                        let dst = Arc::make_mut(o.get_mut());
+                        let mut bits = page.resident;
+                        while bits != 0 {
+                            let slot = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            dst.set(slot, page.lines[slot]);
+                        }
+                    }
+                }
             }
         }
         self.layers = vec![Arc::new(merged)];
@@ -203,36 +338,55 @@ impl LineStore {
 
     /// Number of distinct lines that have ever been written.
     pub fn footprint_lines(&self) -> usize {
-        if self.layers.is_empty() {
-            return self.delta.len();
-        }
-        let mut seen: std::collections::HashSet<LineAddr> = self.delta.keys().copied().collect();
+        let mut resident: HashMap<u64, u64, PageHash> = HashMap::default();
+        union_resident(&mut resident, &self.delta);
         for layer in &self.layers {
-            seen.extend(layer.keys().copied());
+            union_resident(&mut resident, layer);
         }
-        seen.len()
+        resident.values().map(|b| b.count_ones() as usize).sum()
     }
 
     /// Iterates over all written lines (newest version of each).
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, Line)> + '_ {
-        let mut seen: std::collections::HashSet<LineAddr> = std::collections::HashSet::new();
-        self.delta
-            .iter()
-            .map(|(a, l)| (*a, *l))
-            .chain(
-                self.layers
-                    .iter()
-                    .rev()
-                    .flat_map(|layer| layer.iter().map(|(a, l)| (*a, *l))),
-            )
-            .filter(move |(a, _)| seen.insert(*a))
+        fn visit(
+            emitted: &mut HashMap<u64, u64, PageHash>,
+            out: &mut Vec<(LineAddr, Line)>,
+            idx: u64,
+            page: &Page,
+        ) {
+            let seen = emitted.entry(idx).or_insert(0);
+            let mut fresh = page.resident & !*seen;
+            *seen |= page.resident;
+            while fresh != 0 {
+                let slot = fresh.trailing_zeros() as u64;
+                fresh &= fresh - 1;
+                out.push((
+                    LineAddr::new((idx << PAGE_SHIFT) | slot),
+                    page.lines[slot as usize],
+                ));
+            }
+        }
+        let mut emitted: HashMap<u64, u64, PageHash> = HashMap::default();
+        let mut out = Vec::new();
+        for (idx, page) in self.delta.iter() {
+            visit(&mut emitted, &mut out, *idx, page);
+        }
+        for layer in self.layers.iter().rev() {
+            for (idx, page) in layer.iter() {
+                visit(&mut emitted, &mut out, *idx, page);
+            }
+        }
+        out.into_iter()
     }
 
     /// Number of lines in the private mutable delta (the only part of
-    /// the store a `Clone` copies line-by-line). Right after
+    /// the store a `Clone` copies page-by-page). Right after
     /// [`LineStore::fork`] this is zero on both sides.
     pub fn delta_lines(&self) -> usize {
-        self.delta.len()
+        self.delta
+            .values()
+            .map(|p| p.resident.count_ones() as usize)
+            .sum()
     }
 
     /// Number of frozen shared layers.
@@ -247,7 +401,11 @@ impl LineStore {
         self.layers
             .iter()
             .filter(|l| other.layers.iter().any(|o| Arc::ptr_eq(l, o)))
-            .map(|l| l.len())
+            .map(|l| {
+                l.values()
+                    .map(|p| p.resident.count_ones() as usize)
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -278,6 +436,18 @@ mod tests {
         store.write(LineAddr::new(1), Line::filled(1));
         store.write(LineAddr::new(1), Line::ZERO);
         assert_eq!(store.read(LineAddr::new(1)), Line::ZERO);
+        assert_eq!(store.footprint_lines(), 1);
+    }
+
+    #[test]
+    fn zero_write_in_delta_shadows_frozen_content() {
+        // The residency bitmap, not the line value, decides whether a
+        // page slot shadows older layers.
+        let mut store = LineStore::new();
+        store.write(LineAddr::new(9), Line::filled(9));
+        store.freeze();
+        store.write(LineAddr::new(9), Line::ZERO);
+        assert_eq!(store.read(LineAddr::new(9)), Line::ZERO);
         assert_eq!(store.footprint_lines(), 1);
     }
 
@@ -356,5 +526,34 @@ mod tests {
         assert_eq!(store.layer_count(), 0);
         let fork = store.fork();
         assert_eq!(fork.layer_count(), 0);
+    }
+
+    #[test]
+    fn far_apart_addresses_stay_sparse() {
+        // The 16 GB geometry maps to line indices up to 2^28; pages must
+        // not allocate anything between two distant touches.
+        let mut store = LineStore::new();
+        store.write(LineAddr::new(0), Line::filled(1));
+        store.write(
+            LineAddr::new((16 << 30) / LINE_BYTES as u64 - 1),
+            Line::filled(2),
+        );
+        assert_eq!(store.footprint_lines(), 2);
+        assert_eq!(store.read(LineAddr::new(0)), Line::filled(1));
+        assert_eq!(
+            store.read(LineAddr::new((16 << 30) / LINE_BYTES as u64 - 1)),
+            Line::filled(2)
+        );
+    }
+
+    #[test]
+    fn writes_within_one_page_share_a_frame() {
+        let mut store = LineStore::new();
+        for slot in 0..PAGE_LINES as u64 {
+            store.write(LineAddr::new(slot), Line::filled(slot as u8));
+        }
+        assert_eq!(store.delta.len(), 1, "one page frame holds all 64 lines");
+        assert_eq!(store.delta_lines(), PAGE_LINES);
+        assert_eq!(store.footprint_lines(), PAGE_LINES);
     }
 }

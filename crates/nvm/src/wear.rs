@@ -8,13 +8,18 @@
 //! distribution so schemes can be compared on endurance, not just
 //! traffic.
 
-use crate::store::LineAddr;
+use crate::store::{LineAddr, PageHash, PAGE_LINES, PAGE_SHIFT, SLOT_MASK};
 use std::collections::HashMap;
 
 /// Records how many times each line has been written.
+///
+/// Counters are stored in 64-line pages keyed by `addr >> PAGE_SHIFT`
+/// with the store's deterministic hasher, so the per-device-write
+/// `record` usually increments a slot in an already-resident page
+/// instead of paying a full per-line hash probe.
 #[derive(Debug, Clone, Default)]
 pub struct WearTracker {
-    writes: HashMap<LineAddr, u64>,
+    writes: HashMap<u64, Box<[u64; PAGE_LINES]>, PageHash>,
 }
 
 /// Summary statistics of a wear distribution.
@@ -64,12 +69,31 @@ impl WearTracker {
 
     /// Records one write to `addr`.
     pub fn record(&mut self, addr: LineAddr) {
-        *self.writes.entry(addr).or_insert(0) += 1;
+        let idx = addr.index() >> PAGE_SHIFT;
+        let slot = (addr.index() & SLOT_MASK) as usize;
+        let page = self
+            .writes
+            .entry(idx)
+            .or_insert_with(|| Box::new([0; PAGE_LINES]));
+        page[slot] += 1;
     }
 
     /// Writes recorded for `addr`.
     pub fn writes_to(&self, addr: LineAddr) -> u64 {
-        self.writes.get(&addr).copied().unwrap_or(0)
+        self.writes
+            .get(&(addr.index() >> PAGE_SHIFT))
+            .map_or(0, |page| page[(addr.index() & SLOT_MASK) as usize])
+    }
+
+    /// Visits every written line with its count.
+    fn for_each(&self, mut f: impl FnMut(LineAddr, u64)) {
+        for (idx, page) in &self.writes {
+            for (slot, &count) in page.iter().enumerate() {
+                if count > 0 {
+                    f(LineAddr::new((idx << PAGE_SHIFT) | slot as u64), count);
+                }
+            }
+        }
     }
 
     /// Summarizes the whole distribution.
@@ -83,14 +107,14 @@ impl WearTracker {
         let mut lines = 0usize;
         let mut total = 0u64;
         let mut max = 0u64;
-        for (&addr, &count) in &self.writes {
+        self.for_each(|addr, count| {
             if !filter(addr) {
-                continue;
+                return;
             }
             lines += 1;
             total += count;
             max = max.max(count);
-        }
+        });
         let mean = if lines == 0 {
             0.0
         } else {
@@ -111,9 +135,7 @@ impl WearTracker {
     /// result is deterministic despite the hash-map backing.
     pub fn log2_histogram(&self) -> Vec<(u64, u64)> {
         let mut hist = star_trace::Log2Hist::new();
-        for &count in self.writes.values() {
-            hist.observe(count);
-        }
+        self.for_each(|_, count| hist.observe(count));
         hist.nonzero().collect()
     }
 

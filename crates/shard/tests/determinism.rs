@@ -6,7 +6,7 @@
 //! * a per-lane crash leaves every surviving lane's report section
 //!   byte-unchanged versus an uncrashed run.
 
-use star_core::SchemeKind;
+use star_core::{SchemeKind, SCHEMA_VERSION};
 use star_shard::{run_shard_grid, run_sharded, ShardSpec};
 use star_trace::CatMask;
 use star_workloads::WorkloadKind;
@@ -25,7 +25,9 @@ const GRID_SCHEMES: [SchemeKind; 2] = [SchemeKind::Star, SchemeKind::WriteBack];
 #[test]
 fn grid_bytes_identical_at_every_shard_thread_grouping() {
     let baseline = run_shard_grid(&small_spec(), &GRID_SCHEMES, 1).to_json();
-    assert!(baseline.starts_with("{\"schema_version\":6,\"kind\":\"shard\","));
+    assert!(baseline.starts_with(&format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"kind\":\"shard\","
+    )));
     for shards in [1usize, 2, 4] {
         for threads in [1usize, 2, 4] {
             let got =
@@ -43,7 +45,9 @@ fn traces_identical_across_shard_counts() {
     let spec = small_spec().with_trace(CatMask::ALL);
     let serial = run_sharded(&spec);
     let trace = serial.trace_chrome_json().expect("tracing was on");
-    assert!(trace.starts_with("{\"schema_version\":6,\"kind\":\"trace\","));
+    assert!(trace.starts_with(&format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"kind\":\"trace\","
+    )));
     for shards in [2usize, 4] {
         let parallel = run_sharded(&spec.clone().with_shards(shards));
         assert_eq!(

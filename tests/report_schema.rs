@@ -409,3 +409,84 @@ fn prof_totals_balance_for_every_scheme_in_json() {
         triad.nvm_stats().total_writes()
     );
 }
+
+/// Cross-crate host-parallelism sweep: every report family that offers a
+/// worker-thread knob (`--threads` / `--jobs`) must emit byte-identical
+/// JSON at 1, 2 and 4 workers. This is what lets CI `cmp` artifacts
+/// across runners, and what makes the hot-path optimizations of the
+/// throughput campaign observationally invisible: the work may be
+/// dispatched differently, but the merged bytes may not move.
+#[test]
+fn reports_are_byte_identical_across_worker_threads() {
+    // star-bench figures grid (run-report rows) across `--jobs`.
+    let bench_ref = {
+        let cfg = star_bench::ExperimentConfig {
+            ops: 400,
+            ..Default::default()
+        };
+        star_bench::experiments::sweep_to_json(&cfg, &star_bench::experiments::scheme_sweep(&cfg))
+    };
+    // star-check fuzz sweep across `--threads`.
+    let check_ref = {
+        let cfg = star_check::CheckConfig {
+            cases: 12,
+            ..Default::default()
+        };
+        star_check::run_check(&cfg).to_json()
+    };
+    // star-serve grid across `--threads`.
+    let serve_ref = {
+        let cfg = ServeConfig::quick(3);
+        run_grid(&cfg, &standard_scenarios(&cfg)).to_json()
+    };
+    // star-shard grid across dispatch `--threads`.
+    let shard_spec = ShardSpec::new(SchemeKind::Star, WorkloadKind::Array)
+        .with_lanes(2)
+        .with_ops_per_lane(80)
+        .with_epoch_ops(40);
+    let shard_ref =
+        run_shard_grid(&shard_spec, &[SchemeKind::Star, SchemeKind::Anubis], 1).to_json();
+
+    for workers in [2usize, 4] {
+        let cfg = star_bench::ExperimentConfig {
+            ops: 400,
+            jobs: workers,
+            ..Default::default()
+        };
+        assert_eq!(
+            star_bench::experiments::sweep_to_json(
+                &cfg,
+                &star_bench::experiments::scheme_sweep(&cfg)
+            ),
+            bench_ref,
+            "figures grid drifted at jobs={workers}"
+        );
+        let cfg = star_check::CheckConfig {
+            cases: 12,
+            threads: workers,
+            ..Default::default()
+        };
+        assert_eq!(
+            star_check::run_check(&cfg).to_json(),
+            check_ref,
+            "check report drifted at threads={workers}"
+        );
+        let mut cfg = ServeConfig::quick(3);
+        cfg.threads = workers;
+        assert_eq!(
+            run_grid(&cfg, &standard_scenarios(&cfg)).to_json(),
+            serve_ref,
+            "serve report drifted at threads={workers}"
+        );
+        assert_eq!(
+            run_shard_grid(
+                &shard_spec,
+                &[SchemeKind::Star, SchemeKind::Anubis],
+                workers
+            )
+            .to_json(),
+            shard_ref,
+            "shard report drifted at threads={workers}"
+        );
+    }
+}
